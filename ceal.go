@@ -1,0 +1,263 @@
+// Package ceal is an auto-tuner for in-situ scientific workflows,
+// reproducing "Bootstrapping In-situ Workflow Auto-Tuning via Combining
+// Performance Models of Component Applications" (Shu et al., SC '21).
+//
+// The package couples three layers:
+//
+//   - a deterministic cluster and in-situ workflow simulator (the
+//     measurement substrate, substituting for the paper's 600-node
+//     testbed) with the paper's three benchmark workflows — LV (LAMMPS +
+//     Voro++), HS (Heat Transfer + Stage Write) and GP (Gray-Scott + PDF
+//     calculator + two serial plotters);
+//   - a from-scratch ML stack (gradient-boosted trees, random forests,
+//     kNN, ridge regression) standing in for xgboost;
+//   - the auto-tuning algorithms: CEAL (the paper's contribution) plus the
+//     RS, AL, GEIST, ALpH baselines and the BO/HyBoost/KNNSelect
+//     extensions.
+//
+// Quickstart:
+//
+//	machine := ceal.DefaultMachine()
+//	bench := ceal.BenchmarkLV(machine)
+//	problem := ceal.NewProblem(bench, ceal.CompTime, 2000, 1)
+//	result, err := ceal.NewCEAL().Tune(problem, 50)
+//
+// The experiment harness that regenerates the paper's tables and figures
+// lives behind ceal.Experiments / cmd/paperexp.
+package ceal
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"strings"
+
+	"ceal/internal/acm"
+	"ceal/internal/apps"
+	"ceal/internal/cfgspace"
+	"ceal/internal/cluster"
+	"ceal/internal/paperexp"
+	"ceal/internal/tuner"
+	"ceal/internal/workflow"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Machine describes the simulated HPC system.
+	Machine = cluster.Machine
+	// Config is a concrete configuration (one value per parameter).
+	Config = cfgspace.Config
+	// Space is a configuration parameter space.
+	Space = cfgspace.Space
+	// Param is one integer configuration parameter.
+	Param = cfgspace.Param
+	// Benchmark is a target workflow with its spaces and builders.
+	Benchmark = workflow.Benchmark
+	// Workflow is a configured in-situ workflow instance.
+	Workflow = workflow.Workflow
+	// Measurement is the outcome of one simulated run.
+	Measurement = workflow.Measurement
+	// Problem is a fully specified auto-tuning task.
+	Problem = tuner.Problem
+	// Result is an auto-tuning outcome.
+	Result = tuner.Result
+	// Sample is one measured configuration.
+	Sample = tuner.Sample
+	// Algorithm is an auto-tuning algorithm under a measurement budget.
+	Algorithm = tuner.Algorithm
+	// Objective selects the optimization metric.
+	Objective = paperexp.Objective
+	// GroundTruth is a pre-measured experiment dataset.
+	GroundTruth = paperexp.GroundTruth
+	// Component is one configured component application instance.
+	Component = apps.Component
+	// Layout is a component's process layout (procs, ppn, threads).
+	Layout = apps.Layout
+	// Edge is a streaming data dependency between workflow components.
+	Edge = workflow.Edge
+	// ComponentSpec describes a component of a custom benchmark.
+	ComponentSpec = workflow.ComponentSpec
+	// NamedSpace pairs a component name with its space for ConcatSpaces.
+	NamedSpace = cfgspace.NamedSpace
+)
+
+// Space construction helpers for custom workflows.
+var (
+	// NewParam returns an integer parameter with stride 1.
+	NewParam = cfgspace.NewParam
+	// NewSteppedParam returns an integer parameter with a custom stride.
+	NewSteppedParam = cfgspace.NewSteppedParam
+	// ConcatSpaces builds a workflow space from component subspaces and an
+	// optional joint constraint.
+	ConcatSpaces = cfgspace.Concat
+	// NodesFor returns ceil(procs/ppn), the nodes a layout occupies.
+	NodesFor = cluster.NodesFor
+	// RunSolo executes a single component alone against the file system.
+	RunSolo = workflow.RunSolo
+)
+
+// Optimization objectives.
+const (
+	// ExecTime minimizes wall-clock execution time.
+	ExecTime = paperexp.ExecTime
+	// CompTime minimizes consumed core-hours.
+	CompTime = paperexp.CompTime
+	// Energy minimizes consumed kilojoules (extension, §4).
+	Energy = paperexp.Energy
+)
+
+// DefaultMachine returns the paper-testbed machine model: 600 Broadwell
+// nodes, 36 cores each, 32-node allocation cap.
+func DefaultMachine() Machine { return cluster.Default() }
+
+// BenchmarkLV returns the LAMMPS + Voro++ workflow (§7.1).
+func BenchmarkLV(m Machine) *Benchmark { return workflow.LV(m) }
+
+// BenchmarkHS returns the Heat Transfer + Stage Write workflow (§7.1).
+func BenchmarkHS(m Machine) *Benchmark { return workflow.HS(m) }
+
+// BenchmarkGP returns the Gray-Scott + PDF + plotters workflow (§7.1).
+func BenchmarkGP(m Machine) *Benchmark { return workflow.GP(m) }
+
+// BenchmarkByName returns "LV", "HS" or "GP".
+func BenchmarkByName(m Machine, name string) (*Benchmark, error) {
+	return workflow.ByName(m, name)
+}
+
+// Algorithm constructors (defaults tuned per DESIGN.md).
+var (
+	// NewCEAL returns the paper's Component-based Ensemble Active Learning.
+	NewCEAL = tuner.NewCEAL
+	// NewAL returns batch active learning.
+	NewAL = tuner.NewAL
+	// NewGEIST returns the graph-guided semi-supervised sampler.
+	NewGEIST = tuner.NewGEIST
+	// NewALpH returns active learning over a learned combining model.
+	NewALpH = tuner.NewALpH
+	// NewBO returns the Bayesian-optimization extension.
+	NewBO = tuner.NewBO
+	// NewHyBoost returns the residual-boosting white+black ensemble.
+	NewHyBoost = tuner.NewHyBoost
+	// NewKNNSelect returns the per-query model-selection ensemble.
+	NewKNNSelect = tuner.NewKNNSelect
+)
+
+// NewRS returns the random-sampling baseline.
+func NewRS() Algorithm { return tuner.RS{} }
+
+// AlgorithmByName maps a name (rs, al, geist, alph, ceal, bo, hyboost,
+// knnselect) to a fresh algorithm instance with default options.
+func AlgorithmByName(name string) (Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "rs":
+		return NewRS(), nil
+	case "al":
+		return NewAL(), nil
+	case "geist":
+		return NewGEIST(), nil
+	case "alph":
+		return NewALpH(), nil
+	case "ceal":
+		return NewCEAL(), nil
+	case "bo":
+		return NewBO(), nil
+	case "hyboost":
+		return NewHyBoost(), nil
+	case "knnselect":
+		return NewKNNSelect(), nil
+	default:
+		return nil, fmt.Errorf("ceal: unknown algorithm %q", name)
+	}
+}
+
+// LiveEvaluator measures configurations by actually running the cluster
+// simulator (as opposed to the experiment harness's pre-measured pools).
+// Noise is keyed to the configuration so repeated measurements of the same
+// configuration are reproducible.
+type LiveEvaluator struct {
+	Bench *Benchmark
+	Obj   Objective
+	Seed  uint64
+}
+
+// MeasureWorkflow implements tuner.Evaluator.
+func (e *LiveEvaluator) MeasureWorkflow(cfg Config) (float64, error) {
+	w, err := e.Bench.Build(cfg)
+	if err != nil {
+		return 0, err
+	}
+	meas, err := w.Measure(e.noise("wf", cfg))
+	if err != nil {
+		return 0, err
+	}
+	return e.pick(meas), nil
+}
+
+// MeasureComponent implements tuner.Evaluator.
+func (e *LiveEvaluator) MeasureComponent(j int, cfg Config) (float64, error) {
+	if j < 0 || j >= len(e.Bench.Components) {
+		return 0, fmt.Errorf("ceal: component index %d out of range", j)
+	}
+	cs := e.Bench.Components[j]
+	meas, err := workflow.MeasureSolo(e.Bench.Machine, cs.BuildSolo(cfg), cs.InBytesPerStep, e.noise(cs.Name, cfg))
+	if err != nil {
+		return 0, err
+	}
+	return e.pick(meas), nil
+}
+
+func (e *LiveEvaluator) pick(meas Measurement) float64 {
+	switch e.Obj {
+	case ExecTime:
+		return meas.ExecTime
+	case CompTime:
+		return meas.CompTime
+	default:
+		return meas.EnergyKJ
+	}
+}
+
+func (e *LiveEvaluator) noise(kind string, cfg Config) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(kind))
+	h.Write([]byte(cfg.Key()))
+	return rand.New(rand.NewPCG(e.Seed, h.Sum64()))
+}
+
+// NewProblem assembles a live auto-tuning problem over a benchmark: a
+// candidate pool of poolSize random valid configurations, evaluated by
+// running the simulator on demand. Use GroundTruth/Experiments for the
+// paper's pre-measured evaluation methodology instead.
+func NewProblem(b *Benchmark, obj Objective, poolSize int, seed uint64) *Problem {
+	rng := rand.New(rand.NewPCG(seed, 0xcea1))
+	comps := make([]tuner.ComponentInfo, len(b.Components))
+	for j, cs := range b.Components {
+		cs := cs
+		comps[j] = tuner.ComponentInfo{Name: cs.Name, Space: cs.Space}
+		comps[j].Cores = func(cfg Config) float64 {
+			return float64(cs.BuildSolo(cfg).Nodes() * b.Machine.CoresPerNode)
+		}
+		if cs.Space != nil {
+			comps[j].Features = func(cfg Config) []float64 { return cs.Features(b.Machine, cfg) }
+		}
+	}
+	return &Problem{
+		Name:         fmt.Sprintf("%s/%s", b.Name, obj.Short()),
+		Space:        b.Space,
+		Components:   comps,
+		Pool:         b.Space.SampleN(rng, poolSize),
+		Eval:         &LiveEvaluator{Bench: b, Obj: obj, Seed: seed},
+		Combiner:     acm.ForObjective(obj != ExecTime),
+		Features:     b.Features,
+		FeatureNames: b.FeatureNames(),
+		Seed:         seed,
+	}
+}
+
+// BuildGroundTruth pre-measures a benchmark for the paper's experiment
+// methodology (see cmd/paperexp).
+var BuildGroundTruth = paperexp.BuildGroundTruth
+
+// Experiments returns the paper's tables/figures as runnable experiments.
+var Experiments = paperexp.All

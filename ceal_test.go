@@ -1,0 +1,129 @@
+package ceal
+
+import (
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	m := DefaultMachine()
+	b := BenchmarkLV(m)
+	p := NewProblem(b, CompTime, 150, 1)
+	res, err := NewCEAL().Tune(p, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Space.IsValid(res.Best) {
+		t.Fatalf("tuned config %v invalid", res.Best)
+	}
+	w, err := b.Build(res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := w.RunInSitu()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.CompTime <= 0 {
+		t.Fatalf("bad measurement %+v", meas)
+	}
+}
+
+func TestAlgorithmByName(t *testing.T) {
+	for _, name := range []string{"rs", "AL", "geist", "alph", "CEAL", "bo", "hyboost", "knnselect"} {
+		alg, err := AlgorithmByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if alg == nil {
+			t.Fatalf("%s: nil algorithm", name)
+		}
+	}
+	if _, err := AlgorithmByName("gradient-descent"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestBenchmarkByName(t *testing.T) {
+	m := DefaultMachine()
+	for _, name := range []string{"LV", "HS", "GP"} {
+		b, err := BenchmarkByName(m, name)
+		if err != nil || b.Name != name {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := BenchmarkByName(m, "XX"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestLiveEvaluatorDeterministicPerConfig(t *testing.T) {
+	m := DefaultMachine()
+	b := BenchmarkLV(m)
+	e := &LiveEvaluator{Bench: b, Obj: ExecTime, Seed: 7}
+	cfg := Config{112, 28, 1, 36, 18, 4}
+	v1, err := e.MeasureWorkflow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := e.MeasureWorkflow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatalf("same config measured differently: %v vs %v", v1, v2)
+	}
+	// Different configs (and component runs) get independent noise.
+	if _, err := e.MeasureComponent(0, Config{112, 28, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.MeasureComponent(9, nil); err == nil {
+		t.Fatal("out-of-range component accepted")
+	}
+}
+
+func TestLiveEvaluatorObjectives(t *testing.T) {
+	m := DefaultMachine()
+	b := BenchmarkLV(m)
+	cfg := Config{112, 28, 1, 36, 18, 4}
+	exec, err := (&LiveEvaluator{Bench: b, Obj: ExecTime, Seed: 7}).MeasureWorkflow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := (&LiveEvaluator{Bench: b, Obj: CompTime, Seed: 7}).MeasureWorkflow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 nodes * 36 cores: comp = exec * 216/3600.
+	ratio := comp / exec * 3600 / 36
+	if ratio < 5.9 || ratio > 6.1 {
+		t.Fatalf("exec/comp relation off: implied nodes %v", ratio)
+	}
+}
+
+func TestExperimentsExposed(t *testing.T) {
+	if len(Experiments()) < 13 {
+		t.Fatalf("only %d experiments exposed", len(Experiments()))
+	}
+}
+
+func TestEnergyObjectiveFacade(t *testing.T) {
+	m := DefaultMachine()
+	b := BenchmarkLV(m)
+	eval := &LiveEvaluator{Bench: b, Obj: Energy, Seed: 5}
+	e, err := eval.MeasureWorkflow(Config{112, 28, 1, 36, 18, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e <= 0 {
+		t.Fatalf("energy = %v", e)
+	}
+	// Tuning the energy objective through the facade must work end to end.
+	p := NewProblem(b, Energy, 120, 5)
+	res, err := NewCEAL().Tune(p, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Space.IsValid(res.Best) {
+		t.Fatalf("invalid best %v", res.Best)
+	}
+}

@@ -1,0 +1,110 @@
+// Command ceal-tune auto-tunes a benchmark workflow on the cluster
+// simulator with a chosen algorithm and measurement budget, then reports
+// the recommended configuration against the expert recommendation.
+//
+// Usage:
+//
+//	ceal-tune -workflow LV -objective comp -budget 50
+//	ceal-tune -workflow HS -objective exec -algorithm al -budget 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ceal"
+)
+
+func main() {
+	var (
+		wfName  = flag.String("workflow", "LV", "benchmark workflow: LV, HS, or GP")
+		objName = flag.String("objective", "comp", "optimization objective: exec or comp")
+		algName = flag.String("algorithm", "ceal", "rs, al, geist, alph, ceal, bo, hyboost, or knnselect")
+		budget  = flag.Int("budget", 50, "measurement budget in workflow-run equivalents")
+		pool    = flag.Int("pool", 2000, "candidate pool size")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	m := ceal.DefaultMachine()
+	b, err := ceal.BenchmarkByName(m, strings.ToUpper(*wfName))
+	if err != nil {
+		fatal(err)
+	}
+	obj, expert, unit := ceal.CompTime, b.ExpertComp, "core-hours"
+	if *objName == "exec" {
+		obj, expert, unit = ceal.ExecTime, b.ExpertExec, "s"
+	} else if *objName != "comp" {
+		fatal(fmt.Errorf("unknown objective %q (want exec or comp)", *objName))
+	}
+	alg, err := ceal.AlgorithmByName(*algName)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("tuning %s for %s with %s (budget %d runs, pool %d)\n",
+		b.Name, obj, alg.Name(), *budget, *pool)
+	problem := ceal.NewProblem(b, obj, *pool, *seed)
+	start := time.Now()
+	res, err := alg.Tune(problem, *budget)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	eval := &ceal.LiveEvaluator{Bench: b, Obj: obj, Seed: *seed}
+	tuned, err := eval.MeasureWorkflow(res.Best)
+	if err != nil {
+		fatal(err)
+	}
+	expertVal, err := eval.MeasureWorkflow(expert)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\nrecommended configuration %v\n", res.Best)
+	fmt.Printf("  measured %s: %.4g %s\n", obj, tuned, unit)
+	fmt.Printf("  expert config %v: %.4g %s\n", expert, expertVal, unit)
+	if expertVal > tuned {
+		fmt.Printf("  improvement over expert: %.1f%%\n", (1-tuned/expertVal)*100)
+		fmt.Printf("  collection cost: %.4g %s -> recoups after %.0f tuned runs\n",
+			res.CollectionCost, unit, res.CollectionCost/(expertVal-tuned))
+	} else {
+		fmt.Printf("  no improvement over the expert configuration\n")
+	}
+	fmt.Printf("  workflow samples measured: %d (tuner wall time %v)\n", len(res.Samples), elapsed.Round(time.Millisecond))
+	if res.SwitchIteration >= 0 {
+		fmt.Printf("  CEAL switched to the high-fidelity model at iteration %d\n", res.SwitchIteration)
+	}
+	printImportance(problem.FeatureNames, res.Importance)
+}
+
+// printImportance lists the surrogate's three most influential features.
+func printImportance(names []string, imp []float64) {
+	if len(imp) == 0 || len(names) != len(imp) {
+		return
+	}
+	type fi struct {
+		name string
+		v    float64
+	}
+	all := make([]fi, len(imp))
+	for i := range imp {
+		all[i] = fi{names[i], imp[i]}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].v > all[b].v })
+	fmt.Printf("  most influential parameters (surrogate gain):")
+	for i := 0; i < 3 && i < len(all); i++ {
+		fmt.Printf(" %s %.0f%%", all[i].name, all[i].v*100)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ceal-tune:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Command paperexp regenerates the paper's tables and figures (§7) on the
+// simulated substrate and prints them as text tables.
+//
+// Usage:
+//
+//	paperexp -list
+//	paperexp -exp fig5 -reps 100
+//	paperexp -exp all -reps 25 -pool 1000 -compsamples 300
+//
+// Paper-scale settings (-reps 100 -pool 2000 -compsamples 500) match §7.1
+// and §7.3 but take correspondingly longer; the defaults trade a little
+// replication for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ceal"
+	"ceal/internal/paperexp"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		reps    = flag.Int("reps", 25, "replications per algorithm (paper: 100)")
+		pool    = flag.Int("pool", 2000, "workflow pool size (paper: 2000)")
+		compN   = flag.Int("compsamples", 500, "solo runs per component (paper: 500)")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+		workers = flag.Int("workers", 8, "parallel simulation and replication width")
+		cache   = flag.String("cache", "", "directory for ground-truth caching (load if present, save after build)")
+		format  = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range paperexp.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var exps []paperexp.Experiment
+	if *expID == "all" {
+		exps = paperexp.All()
+	} else {
+		e, err := paperexp.ByID(*expID)
+		if err != nil {
+			fatal(err)
+		}
+		exps = []paperexp.Experiment{e}
+	}
+
+	opt := paperexp.Options{
+		Build: paperexp.BuildOptions{
+			PoolSize:         *pool,
+			ComponentSamples: *compN,
+			Seed:             *seed,
+			Workers:          *workers,
+		},
+		Reps: *reps,
+		Seed: *seed,
+	}
+
+	// Build each needed ground truth once, shared across experiments.
+	needed := map[string]bool{}
+	for _, e := range exps {
+		for _, wf := range e.Workflows {
+			needed[wf] = true
+		}
+	}
+	m := ceal.DefaultMachine()
+	gts := map[string]*paperexp.GroundTruth{}
+	for _, wf := range []string{"LV", "HS", "GP"} {
+		if !needed[wf] {
+			continue
+		}
+		cachePath := ""
+		if *cache != "" {
+			cachePath = filepath.Join(*cache,
+				fmt.Sprintf("%s-p%d-c%d-s%d.gt.json.gz", wf, *pool, *compN, *seed))
+			if gt, err := paperexp.LoadGroundTruth(cachePath, m); err == nil {
+				fmt.Fprintf(os.Stderr, "loaded %s ground truth from %s\n", wf, cachePath)
+				gts[wf] = gt
+				continue
+			}
+		}
+		b, err := ceal.BenchmarkByName(m, wf)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "building %s ground truth (%d pool + %d/component solo runs)... ",
+			wf, opt.Build.PoolSize, opt.Build.ComponentSamples)
+		gt, err := paperexp.BuildGroundTruth(b, opt.Build)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+		if cachePath != "" {
+			if err := os.MkdirAll(*cache, 0o755); err == nil {
+				if err := gt.Save(cachePath); err != nil {
+					fmt.Fprintf(os.Stderr, "warning: cache save failed: %v\n", err)
+				}
+			}
+		}
+		gts[wf] = gt
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		tables, err := e.Run(gts, opt)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Printf("\n##### %s (%v)\n\n", e.Title, time.Since(start).Round(time.Millisecond))
+		for _, t := range tables {
+			if *format == "csv" {
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperexp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ceal"
+)
+
+func TestResolveConfig(t *testing.T) {
+	b := ceal.BenchmarkLV(ceal.DefaultMachine())
+
+	cfg, err := resolveConfig(b, "561,25,1,75,14,1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Key() != "561,25,1,75,14,1" {
+		t.Fatalf("parsed %v", cfg)
+	}
+
+	if _, err := resolveConfig(b, "", ""); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := resolveConfig(b, "1,2,three", ""); err == nil {
+		t.Fatal("non-numeric config accepted")
+	}
+	if _, err := resolveConfig(b, "1085,1,1,1085,1,1", ""); err == nil {
+		t.Fatal("allocation-violating config accepted")
+	}
+	if _, err := resolveConfig(b, "", "sideways"); err == nil {
+		t.Fatal("bad expert objective accepted")
+	}
+
+	exp, err := resolveConfig(b, "", "comp")
+	if err != nil || exp.Key() != b.ExpertComp.Key() {
+		t.Fatalf("expert comp = %v, %v", exp, err)
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	b := ceal.BenchmarkGP(ceal.DefaultMachine())
+	names := componentNames(b)
+	for _, want := range []string{"grayscott", "pdfcalc", "gplot", "pplot"} {
+		if !strings.Contains(names, want) {
+			t.Fatalf("componentNames = %q missing %s", names, want)
+		}
+	}
+}

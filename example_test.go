@@ -1,0 +1,88 @@
+package ceal_test
+
+import (
+	"fmt"
+
+	"ceal"
+)
+
+// Example tunes the LV workflow's computer time with CEAL over a small
+// candidate pool and prints whether the recommendation is valid.
+func Example() {
+	machine := ceal.DefaultMachine()
+	bench := ceal.BenchmarkLV(machine)
+	problem := ceal.NewProblem(bench, ceal.CompTime, 200, 7)
+
+	result, err := ceal.NewCEAL().Tune(problem, 20)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("valid recommendation:", bench.Space.IsValid(result.Best))
+	fmt.Println("measured samples:", len(result.Samples) > 0)
+	// Output:
+	// valid recommendation: true
+	// measured samples: true
+}
+
+// ExampleWorkflow_RunInSitu runs one configuration of the HS workflow and
+// shows the relation between its measured quantities.
+func ExampleWorkflow_RunInSitu() {
+	machine := ceal.DefaultMachine()
+	bench := ceal.BenchmarkHS(machine)
+	w, err := bench.Build(ceal.Config{13, 17, 14, 4, 29, 19, 3})
+	if err != nil {
+		panic(err)
+	}
+	meas, err := w.RunInSitu()
+	if err != nil {
+		panic(err)
+	}
+	impliedCores := meas.CompTime * 3600 / meas.ExecTime
+	fmt.Printf("allocation: %d nodes (%v cores)\n", w.TotalNodes(), int(impliedCores+0.5))
+	fmt.Println("energy positive:", meas.EnergyKJ > 0)
+	// Output:
+	// allocation: 23 nodes (828 cores)
+	// energy positive: true
+}
+
+// ExampleLiveEvaluator shows on-demand measurement of a configuration
+// under both objectives.
+func ExampleLiveEvaluator() {
+	machine := ceal.DefaultMachine()
+	bench := ceal.BenchmarkGP(machine)
+	cfg := ceal.Config{66, 34, 41, 22}
+
+	exec := &ceal.LiveEvaluator{Bench: bench, Obj: ceal.ExecTime, Seed: 1}
+	comp := &ceal.LiveEvaluator{Bench: bench, Obj: ceal.CompTime, Seed: 1}
+	e, err := exec.MeasureWorkflow(cfg)
+	if err != nil {
+		panic(err)
+	}
+	c, err := comp.MeasureWorkflow(cfg)
+	if err != nil {
+		panic(err)
+	}
+	// GP's serial G-Plot pins the makespan near 97 s.
+	fmt.Println("exec near the G-Plot floor:", e > 90 && e < 110)
+	fmt.Println("computer time positive:", c > 0)
+	// Output:
+	// exec near the G-Plot floor: true
+	// computer time positive: true
+}
+
+// ExampleAlgorithmByName enumerates the available auto-tuners.
+func ExampleAlgorithmByName() {
+	for _, name := range []string{"rs", "al", "geist", "alph", "ceal"} {
+		alg, err := ceal.AlgorithmByName(name)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(alg.Name())
+	}
+	// Output:
+	// RS
+	// AL
+	// GEIST
+	// ALpH
+	// CEAL
+}

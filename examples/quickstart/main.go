@@ -1,0 +1,46 @@
+// Quickstart: auto-tune the LV workflow's computer time with CEAL and
+// compare the result against the expert-recommended configuration.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ceal"
+)
+
+func main() {
+	machine := ceal.DefaultMachine()
+	bench := ceal.BenchmarkLV(machine)
+
+	// A tuning problem over 1000 candidate configurations, measured by
+	// running the cluster simulator on demand.
+	problem := ceal.NewProblem(bench, ceal.CompTime, 1000, 42)
+
+	// CEAL under a tight budget: 50 workflow-run equivalents, part of
+	// which it spends measuring LAMMPS and Voro++ standalone to bootstrap
+	// its low-fidelity model.
+	result, err := ceal.NewCEAL().Tune(problem, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eval := &ceal.LiveEvaluator{Bench: bench, Obj: ceal.CompTime, Seed: 42}
+	tuned, err := eval.MeasureWorkflow(result.Best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	expert, err := eval.MeasureWorkflow(bench.ExpertComp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("tuned configuration  %v -> %.3f core-hours\n", result.Best, tuned)
+	fmt.Printf("expert configuration %v -> %.3f core-hours\n", bench.ExpertComp, expert)
+	if expert > tuned {
+		fmt.Printf("improvement: %.1f%%; data collection cost %.1f core-hours recouped after %.0f runs\n",
+			(1-tuned/expert)*100, result.CollectionCost, result.CollectionCost/(expert-tuned))
+	}
+}

@@ -1,0 +1,3 @@
+module ceal
+
+go 1.22

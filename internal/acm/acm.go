@@ -1,0 +1,184 @@
+// Package acm implements the analytical coupling model (§4): the
+// white-box combination of per-component performance predictions into a
+// low-fidelity workflow score. The combining function follows the
+// optimization metric — max for bottleneck-determined metrics (execution
+// time, Eqn. 1), sum for aggregated metrics (computer time, Eqn. 2), min
+// for throughput-style metrics.
+package acm
+
+import (
+	"fmt"
+	"math"
+
+	"ceal/internal/cfgspace"
+)
+
+// Combiner selects the component-combination function.
+type Combiner int
+
+const (
+	// Max models bottleneck metrics such as execution time (Eqn. 1).
+	Max Combiner = iota
+	// Sum models aggregated metrics such as computer time (Eqn. 2).
+	Sum
+	// Min models throughput-style metrics.
+	Min
+	// Mean is not used by CEAL; it exists for the combiner ablation.
+	Mean
+	// BottleneckSum models charged-allocation metrics on gang-scheduled
+	// machines, where computer time = makespan x total reserved cores: the
+	// score is max_j(pred_j / cores_j) * sum_j(cores_j), with pred_j the
+	// component's solo computer-time prediction and cores_j its reserved
+	// cores (so pred_j/cores_j recovers the component's solo execution
+	// time). This refines Eqn. 2 for substrates where components hold
+	// their allocation while idling on coupling partners; the combiner
+	// ablation compares it against the paper's plain Sum.
+	BottleneckSum
+)
+
+// String returns the combiner name.
+func (c Combiner) String() string {
+	switch c {
+	case Max:
+		return "max"
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Mean:
+		return "mean"
+	case BottleneckSum:
+		return "bottleneck-sum"
+	default:
+		return fmt.Sprintf("Combiner(%d)", int(c))
+	}
+}
+
+// Combine folds per-component predictions with the combining function.
+func (c Combiner) Combine(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	switch c {
+	case Max:
+		out := math.Inf(-1)
+		for _, v := range vs {
+			out = math.Max(out, v)
+		}
+		return out
+	case Min:
+		out := math.Inf(1)
+		for _, v := range vs {
+			out = math.Min(out, v)
+		}
+		return out
+	case Sum:
+		out := 0.0
+		for _, v := range vs {
+			out += v
+		}
+		return out
+	case Mean:
+		out := 0.0
+		for _, v := range vs {
+			out += v
+		}
+		return out / float64(len(vs))
+	case BottleneckSum:
+		panic("acm: BottleneckSum needs per-part core counts; use LowFidelity.Score")
+	default:
+		panic("acm: unknown combiner")
+	}
+}
+
+// Predictor is any per-component performance model.
+type Predictor interface {
+	Predict(x []float64) float64
+}
+
+// ConstPredictor is the model of an unconfigurable component: a single
+// measured value.
+type ConstPredictor float64
+
+// Predict returns the constant value.
+func (c ConstPredictor) Predict([]float64) float64 { return float64(c) }
+
+// Part is one component's slot in the low-fidelity model: its predictor
+// plus the extraction of its sub-configuration features from a workflow
+// configuration.
+type Part struct {
+	Name      string
+	Predictor Predictor
+	// Extract maps a workflow configuration to this component's feature
+	// vector. For unconfigurable components it may return nil.
+	Extract func(cfg cfgspace.Config) []float64
+	// Cores returns the cores the component's allocation reserves under a
+	// workflow configuration. Required by the BottleneckSum combiner.
+	Cores func(cfg cfgspace.Config) float64
+}
+
+// LowFidelity is the white-box workflow model M_L of Fig. 3: component
+// predictions folded by the combining function. Its output is only a
+// relative score for ranking configurations (§4), in the same units as the
+// optimization metric.
+type LowFidelity struct {
+	Combine Combiner
+	Parts   []Part
+}
+
+// Score returns the combined prediction for a workflow configuration.
+func (lf *LowFidelity) Score(cfg cfgspace.Config) float64 {
+	vs := make([]float64, len(lf.Parts))
+	for i, part := range lf.Parts {
+		var x []float64
+		if part.Extract != nil {
+			x = part.Extract(cfg)
+		}
+		vs[i] = part.Predictor.Predict(x)
+	}
+	if lf.Combine == BottleneckSum {
+		return lf.bottleneckSum(cfg, vs)
+	}
+	return lf.Combine.Combine(vs)
+}
+
+// bottleneckSum scores max_j(pred_j/cores_j) * sum_j(cores_j).
+func (lf *LowFidelity) bottleneckSum(cfg cfgspace.Config, vs []float64) float64 {
+	maxExec := 0.0
+	totalCores := 0.0
+	for i, part := range lf.Parts {
+		if part.Cores == nil {
+			panic(fmt.Sprintf("acm: part %s lacks Cores, required by BottleneckSum", part.Name))
+		}
+		cores := part.Cores(cfg)
+		if cores <= 0 {
+			cores = 1
+		}
+		totalCores += cores
+		if exec := vs[i] / cores; exec > maxExec {
+			maxExec = exec
+		}
+	}
+	return maxExec * totalCores
+}
+
+// ScoreBatch scores every configuration.
+func (lf *LowFidelity) ScoreBatch(cfgs []cfgspace.Config) []float64 {
+	out := make([]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		out[i] = lf.Score(cfg)
+	}
+	return out
+}
+
+// ForObjective returns the combining function for an optimization metric:
+// max for bottleneck metrics (execution time, Eqn. 1); for aggregate
+// charged-allocation metrics (computer time) it returns BottleneckSum, the
+// structure-matched refinement of Eqn. 2 for gang-scheduled substrates
+// (see the BottleneckSum doc and the combiner ablation).
+func ForObjective(aggregate bool) Combiner {
+	if aggregate {
+		return BottleneckSum
+	}
+	return Max
+}

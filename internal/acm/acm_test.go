@@ -1,0 +1,155 @@
+package acm
+
+import (
+	"math"
+	"testing"
+
+	"ceal/internal/cfgspace"
+)
+
+func TestCombiners(t *testing.T) {
+	vs := []float64{3, 1, 2}
+	cases := []struct {
+		c    Combiner
+		want float64
+	}{
+		{Max, 3},
+		{Min, 1},
+		{Sum, 6},
+		{Mean, 2},
+	}
+	for _, tc := range cases {
+		if got := tc.c.Combine(vs); got != tc.want {
+			t.Errorf("%v.Combine = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+	if Max.Combine(nil) != 0 {
+		t.Error("empty combine should be 0")
+	}
+}
+
+func TestCombinerString(t *testing.T) {
+	if Max.String() != "max" || Sum.String() != "sum" || Min.String() != "min" || Mean.String() != "mean" {
+		t.Fatal("combiner names wrong")
+	}
+}
+
+type affine struct{ a, b float64 }
+
+func (f affine) Predict(x []float64) float64 { return f.a*x[0] + f.b }
+
+func TestLowFidelityScore(t *testing.T) {
+	dims := []int{1, 1}
+	lf := &LowFidelity{
+		Combine: Max,
+		Parts: []Part{
+			{
+				Name:      "sim",
+				Predictor: affine{a: 2, b: 0},
+				Extract: func(cfg cfgspace.Config) []float64 {
+					sub := cfgspace.Slice(cfg, dims, 0)
+					return []float64{float64(sub[0])}
+				},
+			},
+			{
+				Name:      "viz",
+				Predictor: affine{a: 1, b: 5},
+				Extract: func(cfg cfgspace.Config) []float64 {
+					sub := cfgspace.Slice(cfg, dims, 1)
+					return []float64{float64(sub[0])}
+				},
+			},
+		},
+	}
+	// cfg = (3, 4): parts predict 6 and 9 -> max 9.
+	if got := lf.Score(cfgspace.Config{3, 4}); got != 9 {
+		t.Fatalf("Score = %v, want 9", got)
+	}
+	lf.Combine = Sum
+	if got := lf.Score(cfgspace.Config{3, 4}); got != 15 {
+		t.Fatalf("Sum score = %v, want 15", got)
+	}
+	batch := lf.ScoreBatch([]cfgspace.Config{{3, 4}, {1, 1}})
+	if batch[0] != 15 || batch[1] != 8 {
+		t.Fatalf("ScoreBatch = %v", batch)
+	}
+}
+
+func TestConstPredictor(t *testing.T) {
+	var p Predictor = ConstPredictor(97)
+	if p.Predict(nil) != 97 || p.Predict([]float64{1, 2}) != 97 {
+		t.Fatal("ConstPredictor not constant")
+	}
+}
+
+func TestForObjective(t *testing.T) {
+	if ForObjective(false) != Max {
+		t.Fatal("execution time should use max (Eqn. 1)")
+	}
+	if ForObjective(true) != BottleneckSum {
+		t.Fatal("computer time should use the bottleneck-scaled aggregate")
+	}
+}
+
+func TestBottleneckSumScore(t *testing.T) {
+	dims := []int{1, 1}
+	extract := func(i int) func(cfg cfgspace.Config) []float64 {
+		return func(cfg cfgspace.Config) []float64 {
+			sub := cfgspace.Slice(cfg, dims, i)
+			return []float64{float64(sub[0])}
+		}
+	}
+	lf := &LowFidelity{
+		Combine: BottleneckSum,
+		Parts: []Part{
+			{
+				Name:      "sim",
+				Predictor: affine{a: 1, b: 0}, // solo comp prediction = x
+				Extract:   extract(0),
+				Cores:     func(cfgspace.Config) float64 { return 72 },
+			},
+			{
+				Name:      "viz",
+				Predictor: affine{a: 1, b: 0},
+				Extract:   extract(1),
+				Cores:     func(cfgspace.Config) float64 { return 36 },
+			},
+		},
+	}
+	// cfg (144, 36): exec candidates 144/72=2 and 36/36=1; makespan 2;
+	// total cores 108 -> 216.
+	if got := lf.Score(cfgspace.Config{144, 36}); got != 216 {
+		t.Fatalf("BottleneckSum score = %v, want 216", got)
+	}
+}
+
+func TestBottleneckSumNeedsCores(t *testing.T) {
+	lf := &LowFidelity{
+		Combine: BottleneckSum,
+		Parts:   []Part{{Name: "x", Predictor: ConstPredictor(1)}},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing Cores did not panic")
+		}
+	}()
+	lf.Score(cfgspace.Config{1})
+}
+
+func TestBottleneckSumCombineDirectPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BottleneckSum.Combine did not panic")
+		}
+	}()
+	BottleneckSum.Combine([]float64{1, 2})
+}
+
+func TestMaxWithNegatives(t *testing.T) {
+	if got := Max.Combine([]float64{-5, -3}); got != -3 {
+		t.Fatalf("Max with negatives = %v", got)
+	}
+	if got := Min.Combine([]float64{math.Inf(1), 3}); got != 3 {
+		t.Fatalf("Min with inf = %v", got)
+	}
+}

@@ -1,0 +1,163 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"ceal/internal/cfgspace"
+	"ceal/internal/cluster"
+)
+
+// These tests pin down each application kernel's qualitative response
+// surface — the structure the auto-tuners exploit.
+
+func TestLAMMPSStrongScaling(t *testing.T) {
+	m := cluster.Default()
+	small := NewLAMMPS(m, cfgspace.Config{35, 35, 1})
+	big := NewLAMMPS(m, cfgspace.Config{560, 35, 1})
+	if big.StepTime(0) >= small.StepTime(0) {
+		t.Fatalf("LAMMPS does not scale: %v @560 vs %v @35", big.StepTime(0), small.StepTime(0))
+	}
+	// Efficiency below 1: 16x the processes gives less than 16x speedup.
+	if small.StepTime(0)/big.StepTime(0) >= 16 {
+		t.Fatalf("LAMMPS scales superlinearly")
+	}
+	if big.OutBytes != LVStepBytes || big.Steps != LVSteps {
+		t.Fatalf("LAMMPS stream spec wrong: %v bytes, %d steps", big.OutBytes, big.Steps)
+	}
+	if big.EmitPerChunk(1e6) <= 0 {
+		t.Fatal("LAMMPS emit cost must be positive")
+	}
+}
+
+func TestVoroCheaperThanLAMMPS(t *testing.T) {
+	// The tessellator is the lighter partner (its best allocations in the
+	// paper are ~7x smaller): at the same layout it must be faster.
+	m := cluster.Default()
+	cfg := cfgspace.Config{128, 32, 1}
+	if NewVoro(m, cfg).StepTime(0) >= NewLAMMPS(m, cfg).StepTime(0) {
+		t.Fatal("Voro++ should be cheaper than LAMMPS at equal layout")
+	}
+	if NewVoro(m, cfg).IngestPerChunk(LVStepBytes) <= 0 {
+		t.Fatal("Voro ingest cost must be positive")
+	}
+}
+
+func TestLAMMPSThreadsTradeoff(t *testing.T) {
+	m := cluster.Default()
+	// With free cores, threads help...
+	base := NewLAMMPS(m, cfgspace.Config{64, 8, 1})
+	threaded := NewLAMMPS(m, cfgspace.Config{64, 8, 4})
+	if threaded.StepTime(0) >= base.StepTime(0) {
+		t.Fatal("threads on free cores should help LAMMPS")
+	}
+	// ...but oversubscription hurts.
+	packed := NewLAMMPS(m, cfgspace.Config{70, 35, 1})
+	oversub := NewLAMMPS(m, cfgspace.Config{70, 35, 4})
+	if oversub.StepTime(0) <= packed.StepTime(0) {
+		t.Fatal("4x oversubscription should hurt LAMMPS")
+	}
+}
+
+func TestHeatBufferSetsChunking(t *testing.T) {
+	m := cluster.Default()
+	small := NewHeatTransfer(m, cfgspace.Config{16, 16, 16, 8, 1})
+	big := NewHeatTransfer(m, cfgspace.Config{16, 16, 16, 8, 40})
+	if small.ChunksPerStep() <= big.ChunksPerStep() {
+		t.Fatalf("1MB buffer gives %d chunks, 40MB gives %d", small.ChunksPerStep(), big.ChunksPerStep())
+	}
+	if small.EmitPerChunk(1e6) <= 0 {
+		t.Fatal("heat emit cost must be positive")
+	}
+}
+
+func TestHeatMemoryBoundPPN(t *testing.T) {
+	// The stencil is memory-bound: packing 35 ranks on a node must cost
+	// more per unit work than 12 ranks spread over more nodes.
+	m := cluster.Default()
+	packed := NewHeatTransfer(m, cfgspace.Config{10, 10, 35, 8, 20})
+	spread := NewHeatTransfer(m, cfgspace.Config{10, 10, 12, 8, 20})
+	if packed.StepTime(0) <= spread.StepTime(0) {
+		t.Fatalf("ppn 35 (%v) should be slower than ppn 12 (%v) for the stencil",
+			packed.StepTime(0), spread.StepTime(0))
+	}
+}
+
+func TestStageWriteScalesWithProcs(t *testing.T) {
+	m := cluster.Default()
+	few := NewStageWrite(m, cfgspace.Config{4, 4}, 8)
+	many := NewStageWrite(m, cfgspace.Config{64, 32}, 8)
+	if many.StepTime(0) >= few.StepTime(0) {
+		t.Fatal("Stage Write aggregation should scale with processes")
+	}
+	if few.PFSWriteBytes != HeatStepBytes {
+		t.Fatalf("Stage Write writes %v bytes, want the heat payload %v", few.PFSWriteBytes, float64(HeatStepBytes))
+	}
+	if few.Steps != 8 {
+		t.Fatalf("Stage Write steps = %d, want 8", few.Steps)
+	}
+	if few.IngestPerChunk(1e6) <= 0 {
+		t.Fatal("Stage Write ingest cost must be positive")
+	}
+}
+
+func TestGrayScottStreamsToTwoConsumersWorth(t *testing.T) {
+	m := cluster.Default()
+	gs := NewGrayScott(m, cfgspace.Config{128, 32})
+	if gs.OutBytes != GrayScottStepBytes || gs.Steps != GPSteps {
+		t.Fatalf("Gray-Scott stream spec wrong: %v bytes, %d steps", gs.OutBytes, gs.Steps)
+	}
+	if gs.EmitPerChunk(1e6) <= 0 {
+		t.Fatal("Gray-Scott emit cost must be positive")
+	}
+	// Strong scaling sanity.
+	if NewGrayScott(m, cfgspace.Config{512, 32}).StepTime(0) >= NewGrayScott(m, cfgspace.Config{32, 32}).StepTime(0) {
+		t.Fatal("Gray-Scott does not scale")
+	}
+}
+
+func TestPDFCalcLightweight(t *testing.T) {
+	m := cluster.Default()
+	pdf := NewPDFCalc(m, cfgspace.Config{64, 32})
+	gs := NewGrayScott(m, cfgspace.Config{64, 32})
+	if pdf.StepTime(0) >= gs.StepTime(0) {
+		t.Fatal("PDF calculator should be much lighter than Gray-Scott")
+	}
+	if pdf.OutBytes != PDFStepBytes {
+		t.Fatalf("PDF output = %v, want %v", pdf.OutBytes, float64(PDFStepBytes))
+	}
+	if pdf.IngestPerChunk(1e6) <= 0 || pdf.EmitPerChunk(1e6) <= 0 {
+		t.Fatal("PDF chunk costs must be positive")
+	}
+}
+
+func TestPlotterIngestCosts(t *testing.T) {
+	m := cluster.Default()
+	if NewGPlot(m).IngestPerChunk(GrayScottStepBytes) <= 0 {
+		t.Fatal("G-Plot ingest cost must be positive")
+	}
+	if NewPPlot(m).IngestPerChunk(PDFStepBytes) <= 0 {
+		t.Fatal("P-Plot ingest cost must be positive")
+	}
+}
+
+func TestPackCost(t *testing.T) {
+	m := cluster.Default()
+	fixed := packCost(m, 0, 1.5e-3)
+	if math.Abs(fixed-1.5e-3) > 1e-12 {
+		t.Fatalf("zero-byte pack cost = %v", fixed)
+	}
+	if packCost(m, 100e6, 1.5e-3) <= fixed {
+		t.Fatal("pack cost must grow with bytes")
+	}
+}
+
+func TestStepTimeSerialFraction(t *testing.T) {
+	m := cluster.Default()
+	s := scaling{workCoreSec: 10, serialSec: 1}
+	// With enormous parallelism, time approaches the serial fraction.
+	huge := s.stepTime(m, Layout{Procs: 100000, PPN: 35, Threads: 1})
+	if huge < 1 || huge > 1.1 {
+		t.Fatalf("asymptotic step time = %v, want ~serialSec 1", huge)
+	}
+}

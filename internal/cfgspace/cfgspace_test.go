@@ -1,0 +1,164 @@
+package cfgspace
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamCountValueRoundTrip(t *testing.T) {
+	p := NewSteppedParam("outputs", 4, 32, 4) // 4, 8, ..., 32
+	if got := p.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	for i := 0; i < p.Count(); i++ {
+		v := p.Value(i)
+		if !p.Contains(v) {
+			t.Fatalf("Value(%d) = %d not Contains", i, v)
+		}
+	}
+	if p.Contains(5) || p.Contains(36) || p.Contains(3) {
+		t.Fatal("Contains accepted an inadmissible value")
+	}
+}
+
+func TestParamNormalizeBounds(t *testing.T) {
+	p := NewParam("procs", 2, 1085)
+	if p.Normalize(2) != 0 || p.Normalize(1085) != 1 {
+		t.Fatalf("Normalize endpoints = %v, %v", p.Normalize(2), p.Normalize(1085))
+	}
+}
+
+func testSpace() *Space {
+	return &Space{
+		Params: []Param{
+			NewParam("procs", 2, 100),
+			NewParam("ppn", 1, 35),
+		},
+		Valid: func(c Config) bool {
+			nodes := (c[0] + c[1] - 1) / c[1]
+			return nodes <= 8
+		},
+	}
+}
+
+func TestSampleAlwaysValidProperty(t *testing.T) {
+	s := testSpace()
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		cfg := s.Sample(rng)
+		return s.IsValid(cfg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleNDistinct(t *testing.T) {
+	s := testSpace()
+	rng := rand.New(rand.NewPCG(1, 2))
+	cfgs := s.SampleN(rng, 300)
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		k := c.Key()
+		if seen[k] {
+			t.Fatalf("duplicate configuration %v", c)
+		}
+		seen[k] = true
+		if !s.IsValid(c) {
+			t.Fatalf("invalid configuration sampled: %v", c)
+		}
+	}
+}
+
+func TestRawSize(t *testing.T) {
+	s := testSpace()
+	if got := s.RawSize(); got != 99*35 {
+		t.Fatalf("RawSize = %v, want %v", got, 99*35)
+	}
+}
+
+func TestValidFractionMatchesExhaustive(t *testing.T) {
+	s := testSpace()
+	// Exhaustive count of valid configurations.
+	valid, total := 0, 0
+	for procs := 2; procs <= 100; procs++ {
+		for ppn := 1; ppn <= 35; ppn++ {
+			total++
+			if (procs+ppn-1)/ppn <= 8 {
+				valid++
+			}
+		}
+	}
+	want := float64(valid) / float64(total)
+	rng := rand.New(rand.NewPCG(9, 9))
+	got := s.ValidFraction(rng, 200000)
+	if diff := got - want; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("ValidFraction = %v, exhaustive = %v", got, want)
+	}
+}
+
+func TestConfigKeyAndString(t *testing.T) {
+	c := Config{561, 25, 1}
+	if c.Key() != "561,25,1" {
+		t.Fatalf("Key = %q", c.Key())
+	}
+	if c.String() != "(561,25,1)" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestConcatPrefixesAndJointConstraint(t *testing.T) {
+	a := &Space{Params: []Param{NewParam("procs", 1, 10)}}
+	b := &Space{
+		Params: []Param{NewParam("procs", 1, 10)},
+		Valid:  func(c Config) bool { return c[0]%2 == 0 },
+	}
+	joint := func(c Config) bool { return c[0]+c[1] <= 12 }
+	s := Concat(joint, NamedSpace{"sim", a}, NamedSpace{"viz", b})
+	if s.Params[0].Name != "sim.procs" || s.Params[1].Name != "viz.procs" {
+		t.Fatalf("param names = %v, %v", s.Params[0].Name, s.Params[1].Name)
+	}
+	if s.IsValid(Config{3, 3}) {
+		t.Fatal("component constraint (even) not enforced")
+	}
+	if s.IsValid(Config{9, 4}) {
+		t.Fatal("joint constraint not enforced")
+	}
+	if !s.IsValid(Config{3, 4}) {
+		t.Fatal("valid configuration rejected")
+	}
+	rng := rand.New(rand.NewPCG(4, 4))
+	for i := 0; i < 100; i++ {
+		if cfg := s.Sample(rng); !s.IsValid(cfg) {
+			t.Fatalf("sampled invalid config %v", cfg)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	cfg := Config{1, 2, 3, 4, 5, 6}
+	dims := []int{3, 1, 2}
+	if got := Slice(cfg, dims, 0).Key(); got != "1,2,3" {
+		t.Fatalf("part 0 = %s", got)
+	}
+	if got := Slice(cfg, dims, 1).Key(); got != "4" {
+		t.Fatalf("part 1 = %s", got)
+	}
+	if got := Slice(cfg, dims, 2).Key(); got != "5,6" {
+		t.Fatalf("part 2 = %s", got)
+	}
+}
+
+func TestNormalizedInUnitInterval(t *testing.T) {
+	s := testSpace()
+	rng := rand.New(rand.NewPCG(8, 8))
+	for i := 0; i < 200; i++ {
+		cfg := s.Sample(rng)
+		for _, x := range s.Normalized(cfg) {
+			if x < 0 || x > 1 {
+				t.Fatalf("normalized value %v out of [0,1] for %v", x, cfg)
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import "testing"
+
+func TestNodesFor(t *testing.T) {
+	cases := []struct{ procs, ppn, want int }{
+		{561, 25, 23},
+		{288, 18, 16},
+		{36, 18, 2},
+		{1, 1, 1},
+		{35, 35, 1},
+		{36, 35, 2},
+		{0, 5, 0},
+		{5, 0, 0},
+	}
+	for _, c := range cases {
+		if got := NodesFor(c.procs, c.ppn); got != c.want {
+			t.Errorf("NodesFor(%d, %d) = %d, want %d", c.procs, c.ppn, got, c.want)
+		}
+	}
+}
+
+func TestNewRuntimeAllocationCap(t *testing.T) {
+	m := Default()
+	if _, err := m.NewRuntime(33); err == nil {
+		t.Fatal("33-node job accepted, cap is 32")
+	}
+	if _, err := m.NewRuntime(0); err == nil {
+		t.Fatal("0-node job accepted")
+	}
+	rt, err := m.NewRuntime(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Core.Capacity() != 16*m.NICBandwidth*m.FabricShare {
+		t.Fatalf("core capacity = %v", rt.Core.Capacity())
+	}
+	if rt.PFS.Capacity() != m.PFSBandwidth {
+		t.Fatalf("pfs capacity = %v", rt.PFS.Capacity())
+	}
+}
+
+func TestRatesScaleWithNodes(t *testing.T) {
+	m := Default()
+	if m.PFSRate(2) != 2*m.PFSNodeLimit {
+		t.Fatalf("PFSRate(2) = %v", m.PFSRate(2))
+	}
+	if m.InjectionRate(3) != 3*m.NICBandwidth {
+		t.Fatalf("InjectionRate(3) = %v", m.InjectionRate(3))
+	}
+}
+
+func TestDefaultIsPaperScale(t *testing.T) {
+	m := Default()
+	if m.Nodes != 600 || m.CoresPerNode != 36 || m.MaxAllocNodes != 32 {
+		t.Fatalf("default machine %+v does not match the paper testbed", m)
+	}
+}

@@ -1,0 +1,90 @@
+// Package emews is the auto-tuner's collector substrate, modeled on the
+// EMEWS/Swift-T harness the paper's system is built with (§7.1): it runs
+// batches of measurement tasks on a worker pool with job-level fault
+// tolerance — the role the paper's MPI_Comm_launch enhancement plays —
+// retrying tasks that fail, and returning results in submission order
+// regardless of completion order.
+package emews
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+)
+
+// Task is one measurement job; attempt counts retries from 0.
+type Task func(attempt int) (float64, error)
+
+// Runner executes task batches.
+type Runner struct {
+	// Workers is the parallel width (>=1).
+	Workers int
+	// MaxRetries is how many times a failed task is relaunched before the
+	// batch is abandoned.
+	MaxRetries int
+	// FailureRate injects simulated job failures with this probability per
+	// attempt (testing the fault-tolerance path); 0 disables injection.
+	FailureRate float64
+	// Seed drives deterministic failure injection.
+	Seed uint64
+}
+
+// DefaultRunner returns a serial runner with a few retries.
+func DefaultRunner() *Runner { return &Runner{Workers: 1, MaxRetries: 3} }
+
+// RunAll executes all tasks and returns their results in submission order.
+// Each task is retried up to MaxRetries times on error; if any task
+// exhausts its retries, RunAll returns the first such error.
+func (r *Runner) RunAll(tasks []Task) ([]float64, error) {
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]float64, len(tasks))
+	errs := make([]error, len(tasks))
+
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = r.runOne(i, tasks[i])
+			}
+		}()
+	}
+	for i := range tasks {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("emews: task %d failed after %d retries: %w", i, r.MaxRetries, err)
+		}
+	}
+	return results, nil
+}
+
+// runOne executes a task with retries and (optional) fault injection.
+func (r *Runner) runOne(idx int, task Task) (float64, error) {
+	var lastErr error
+	for attempt := 0; attempt <= r.MaxRetries; attempt++ {
+		if r.FailureRate > 0 {
+			// Deterministic per (seed, task, attempt) failure injection.
+			rng := rand.New(rand.NewPCG(r.Seed, uint64(idx)<<20|uint64(attempt)))
+			if rng.Float64() < r.FailureRate {
+				lastErr = fmt.Errorf("injected job failure (attempt %d)", attempt)
+				continue
+			}
+		}
+		v, err := task(attempt)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+	}
+	return 0, lastErr
+}

@@ -1,0 +1,120 @@
+package emews
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunAllOrderPreserved(t *testing.T) {
+	r := &Runner{Workers: 4}
+	tasks := make([]Task, 50)
+	for i := range tasks {
+		i := i
+		tasks[i] = func(int) (float64, error) { return float64(i * i), nil }
+	}
+	got, err := r.RunAll(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != float64(i*i) {
+			t.Fatalf("result[%d] = %v, want %v", i, v, i*i)
+		}
+	}
+}
+
+func TestRetriesOnTaskError(t *testing.T) {
+	r := &Runner{Workers: 1, MaxRetries: 3}
+	var calls atomic.Int32
+	task := func(attempt int) (float64, error) {
+		calls.Add(1)
+		if attempt < 2 {
+			return 0, fmt.Errorf("flaky failure %d", attempt)
+		}
+		return 42, nil
+	}
+	got, err := r.RunAll([]Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 42 {
+		t.Fatalf("result = %v", got[0])
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("task called %d times, want 3", calls.Load())
+	}
+}
+
+func TestPermanentFailureSurfaces(t *testing.T) {
+	r := &Runner{Workers: 2, MaxRetries: 2}
+	tasks := []Task{
+		func(int) (float64, error) { return 1, nil },
+		func(int) (float64, error) { return 0, fmt.Errorf("always broken") },
+	}
+	if _, err := r.RunAll(tasks); err == nil {
+		t.Fatal("permanent failure not reported")
+	}
+}
+
+func TestInjectedFailuresRecovered(t *testing.T) {
+	// With a 30% injected failure rate and 6 retries, 100 tasks should all
+	// complete — exercising the MPI_Comm_launch-style relaunch path.
+	r := &Runner{Workers: 8, MaxRetries: 6, FailureRate: 0.3, Seed: 99}
+	tasks := make([]Task, 100)
+	for i := range tasks {
+		i := i
+		tasks[i] = func(int) (float64, error) { return float64(i), nil }
+	}
+	got, err := r.RunAll(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != float64(i) {
+			t.Fatalf("result[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestInjectionDeterministic(t *testing.T) {
+	// Same seed -> same injected-failure pattern -> same attempt counts.
+	run := func() []int32 {
+		counts := make([]int32, 20)
+		r := &Runner{Workers: 1, MaxRetries: 10, FailureRate: 0.5, Seed: 7}
+		tasks := make([]Task, 20)
+		for i := range tasks {
+			i := i
+			tasks[i] = func(int) (float64, error) {
+				atomic.AddInt32(&counts[i], 1)
+				return 0, nil
+			}
+		}
+		if _, err := r.RunAll(tasks); err != nil {
+			t.Fatal(err)
+		}
+		return counts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt counts differ at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDefaultRunner(t *testing.T) {
+	r := DefaultRunner()
+	got, err := r.RunAll([]Task{func(int) (float64, error) { return 5, nil }})
+	if err != nil || got[0] != 5 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	r := DefaultRunner()
+	got, err := r.RunAll(nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v, %v", got, err)
+	}
+}

@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopIndices(t *testing.T) {
+	vals := []float64{5, 1, 3, 1, 2}
+	got := TopIndices(3, vals)
+	want := []int{1, 3, 4} // ties break by index
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopIndices = %v, want %v", got, want)
+		}
+	}
+	if len(TopIndices(10, vals)) != 5 {
+		t.Fatal("TopIndices should clamp n to len")
+	}
+}
+
+func TestRecallScorePerfectAndZero(t *testing.T) {
+	truth := []float64{1, 2, 3, 4, 5, 6}
+	if got := RecallScore(3, truth, truth); got != 100 {
+		t.Fatalf("perfect model recall = %v", got)
+	}
+	inverted := []float64{6, 5, 4, 3, 2, 1}
+	if got := RecallScore(3, inverted, truth); got != 0 {
+		t.Fatalf("inverted model recall = %v", got)
+	}
+	if got := RecallScore(6, inverted, truth); got != 100 {
+		t.Fatalf("full-set recall = %v, want 100", got)
+	}
+}
+
+func TestRecallScoreBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := 1 + rng.IntN(50)
+		scores := make([]float64, n)
+		truth := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+			truth[i] = rng.Float64()
+		}
+		for _, k := range []int{1, 2, 3, n} {
+			r := RecallScore(k, scores, truth)
+			if r < 0 || r > 100 {
+				return false
+			}
+		}
+		// A model IS its own truth.
+		return RecallScore(3, truth, truth) == 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecallSum(t *testing.T) {
+	truth := []float64{1, 2, 3, 4}
+	if got := RecallSum(truth, truth); got != 300 {
+		t.Fatalf("RecallSum perfect = %v, want 300", got)
+	}
+}
+
+func TestAPE(t *testing.T) {
+	if APE(100, 90) != 0.1 {
+		t.Fatalf("APE(100,90) = %v", APE(100, 90))
+	}
+	if APE(100, 110) != 0.1 {
+		t.Fatalf("APE(100,110) = %v", APE(100, 110))
+	}
+	if APE(0, 0) != 0 || APE(0, 5) != 1 {
+		t.Fatal("APE zero handling wrong")
+	}
+}
+
+func TestMdAPE(t *testing.T) {
+	actual := []float64{100, 100, 100}
+	pred := []float64{90, 100, 150}
+	// APEs: 0.1, 0, 0.5 -> median 0.1 -> 10%.
+	if got := MdAPE(actual, pred); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("MdAPE = %v, want 10", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median wrong")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median wrong")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median wrong")
+	}
+	xs := []float64{9, 1}
+	Median(xs)
+	if xs[0] != 9 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestLeastNumberOfUses(t *testing.T) {
+	// Collection cost 100, expert 10, tuned 8: recoup after 50 uses.
+	if got := LeastNumberOfUses(100, 10, 8); got != 50 {
+		t.Fatalf("LNU = %v, want 50", got)
+	}
+	if !math.IsInf(LeastNumberOfUses(100, 8, 10), 1) {
+		t.Fatal("worse-than-expert should be +Inf")
+	}
+	if !math.IsInf(LeastNumberOfUses(100, 8, 8), 1) {
+		t.Fatal("equal-to-expert should be +Inf")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean wrong")
+	}
+}
+
+func TestSpearmanPerfectAndInverted(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{10, 20, 30, 40, 50}
+	if got := Spearman(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect monotone Spearman = %v", got)
+	}
+	c := []float64{50, 40, 30, 20, 10}
+	if got := Spearman(a, c); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("inverted Spearman = %v", got)
+	}
+}
+
+func TestSpearmanMonotoneInvariance(t *testing.T) {
+	a := []float64{1, 5, 2, 9, 4}
+	b := make([]float64, len(a))
+	for i, v := range a {
+		b[i] = v * v * v // monotone transform
+	}
+	if got := Spearman(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("monotone transform Spearman = %v", got)
+	}
+}
+
+func TestSpearmanTiesAndDegenerate(t *testing.T) {
+	if got := Spearman([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("constant series Spearman = %v", got)
+	}
+	if got := Spearman([]float64{1}, []float64{2}); got != 0 {
+		t.Fatalf("single-point Spearman = %v", got)
+	}
+	// Ties share average ranks: still well-defined and bounded.
+	got := Spearman([]float64{1, 2, 2, 3}, []float64{1, 2, 3, 4})
+	if got < 0.9 || got > 1 {
+		t.Fatalf("tied Spearman = %v", got)
+	}
+}

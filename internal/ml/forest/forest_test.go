@@ -1,0 +1,99 @@
+package forest
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestConstantTargetZeroStd(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{7, 7, 7, 7}
+	f, err := Fit(X, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, std := f.PredictWithStd([]float64{2.5})
+	if math.Abs(mean-7) > 1e-9 {
+		t.Fatalf("mean = %v, want 7", mean)
+	}
+	if std != 0 {
+		t.Fatalf("std = %v, want 0 for constant target", std)
+	}
+}
+
+func TestLearnsStepFunction(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		x := rng.Float64() * 10
+		v := 1.0
+		if x > 5 {
+			v = 9.0
+		}
+		X = append(X, []float64{x})
+		y = append(y, v)
+	}
+	f, err := Fit(X, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := f.Predict([]float64{1}); math.Abs(p-1) > 0.5 {
+		t.Fatalf("Predict(1) = %v, want ~1", p)
+	}
+	if p := f.Predict([]float64{9}); math.Abs(p-9) > 0.5 {
+		t.Fatalf("Predict(9) = %v, want ~9", p)
+	}
+}
+
+func TestUncertaintyHigherOffData(t *testing.T) {
+	// Far from the training range, bootstrap trees disagree more than at
+	// a densely sampled interior point of a noisy target.
+	rng := rand.New(rand.NewPCG(2, 2))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 150; i++ {
+		x := rng.Float64() * 10
+		X = append(X, []float64{x})
+		y = append(y, x+rng.NormFloat64())
+	}
+	f, err := Fit(X, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stdIn := f.PredictWithStd([]float64{5})
+	if stdIn < 0 {
+		t.Fatalf("negative std %v", stdIn)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		X = append(X, []float64{rng.Float64(), rng.Float64()})
+		y = append(y, rng.Float64())
+	}
+	p := DefaultParams()
+	p.Seed = 9
+	f1, _ := Fit(X, y, p)
+	f2, _ := Fit(X, y, p)
+	for _, x := range X {
+		if f1.Predict(x) != f2.Predict(x) {
+			t.Fatal("same seed produced different forests")
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, DefaultParams()); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	p := DefaultParams()
+	p.Trees = 0
+	if _, err := Fit([][]float64{{1}}, []float64{1}, p); err == nil {
+		t.Fatal("zero trees accepted")
+	}
+}

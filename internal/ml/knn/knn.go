@@ -1,0 +1,86 @@
+// Package knn implements a k-nearest-neighbour regressor over normalized
+// feature vectors. It is the distance-based model selector ingredient of
+// the Didona-style white/black ensemble ablation (§8.2).
+package knn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Regressor predicts the mean target of the k nearest training samples
+// under Euclidean distance. Features should be pre-normalized.
+type Regressor struct {
+	k int
+	x [][]float64
+	y []float64
+}
+
+// Fit stores the training data for lazy prediction.
+func Fit(X [][]float64, y []float64, k int) (*Regressor, error) {
+	if len(y) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("knn: need matching non-empty X (%d) and y (%d)", len(X), len(y))
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("knn: k must be >= 1, got %d", k)
+	}
+	if k > len(y) {
+		k = len(y)
+	}
+	xs := make([][]float64, len(X))
+	for i, row := range X {
+		xs[i] = append([]float64(nil), row...)
+	}
+	return &Regressor{k: k, x: xs, y: append([]float64(nil), y...)}, nil
+}
+
+// Neighbors returns the indices of the k nearest training samples to x,
+// closest first.
+func (r *Regressor) Neighbors(x []float64) []int {
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	cands := make([]cand, len(r.x))
+	for i, row := range r.x {
+		cands[i] = cand{i, sqDist(row, x)}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	out := make([]int, r.k)
+	for i := 0; i < r.k; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}
+
+// Predict returns the mean target over the k nearest neighbours of x.
+func (r *Regressor) Predict(x []float64) float64 {
+	sum := 0.0
+	for _, idx := range r.Neighbors(x) {
+		sum += r.y[idx]
+	}
+	return sum / float64(r.k)
+}
+
+// PredictBatch predicts for every row of X.
+func (r *Regressor) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = r.Predict(x)
+	}
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}

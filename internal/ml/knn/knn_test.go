@@ -1,0 +1,78 @@
+package knn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNearestNeighborExact(t *testing.T) {
+	X := [][]float64{{0, 0}, {1, 0}, {0, 1}, {5, 5}}
+	y := []float64{10, 20, 30, 40}
+	r, err := Fit(X, y, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Predict([]float64{4.9, 5.1}); got != 40 {
+		t.Fatalf("Predict near (5,5) = %v, want 40", got)
+	}
+	if got := r.Predict([]float64{0.1, 0.1}); got != 10 {
+		t.Fatalf("Predict near origin = %v, want 10", got)
+	}
+}
+
+func TestKAveraging(t *testing.T) {
+	X := [][]float64{{0}, {1}, {100}}
+	y := []float64{2, 4, 1000}
+	r, err := Fit(X, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Predict([]float64{0.4}); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("k=2 mean = %v, want 3", got)
+	}
+}
+
+func TestKClampedToDataSize(t *testing.T) {
+	X := [][]float64{{0}, {1}}
+	y := []float64{1, 3}
+	r, err := Fit(X, y, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Predict([]float64{0.5}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("clamped k mean = %v, want 2", got)
+	}
+}
+
+func TestNeighborsOrderAndTies(t *testing.T) {
+	X := [][]float64{{1}, {1}, {2}}
+	y := []float64{1, 2, 3}
+	r, err := Fit(X, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs := r.Neighbors([]float64{1})
+	if nbrs[0] != 0 || nbrs[1] != 1 {
+		t.Fatalf("tie-break not by index: %v", nbrs)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, 1); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestTrainingDataCopied(t *testing.T) {
+	X := [][]float64{{1}}
+	y := []float64{5}
+	r, _ := Fit(X, y, 1)
+	X[0][0] = 99
+	y[0] = 99
+	if got := r.Predict([]float64{1}); got != 5 {
+		t.Fatalf("regressor aliased caller data: got %v", got)
+	}
+}

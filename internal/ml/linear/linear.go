@@ -1,0 +1,145 @@
+// Package linear implements ridge regression via the normal equations,
+// solved with partially pivoted Gaussian elimination. It serves as the
+// cheap base learner of the HyBoost-style residual-chain ablation (§8.2).
+package linear
+
+import (
+	"fmt"
+)
+
+// Ridge is a fitted linear model with intercept.
+type Ridge struct {
+	weights   []float64 // per-feature coefficients
+	intercept float64
+}
+
+// FitRidge solves min_w ||Xw + b − y||² + λ||w||² (the intercept is not
+// penalized; features are internally centered).
+func FitRidge(X [][]float64, y []float64, lambda float64) (*Ridge, error) {
+	n := len(y)
+	if n == 0 || len(X) != n {
+		return nil, fmt.Errorf("linear: need matching non-empty X (%d) and y (%d)", len(X), n)
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("linear: negative lambda %v", lambda)
+	}
+	d := len(X[0])
+
+	// Center features and target so the intercept absorbs the means.
+	xMean := make([]float64, d)
+	for _, row := range X {
+		for j, v := range row {
+			xMean[j] += v
+		}
+	}
+	for j := range xMean {
+		xMean[j] /= float64(n)
+	}
+	yMean := 0.0
+	for _, v := range y {
+		yMean += v
+	}
+	yMean /= float64(n)
+
+	// Normal equations A w = b with A = XcᵀXc + λI, b = Xcᵀyc.
+	a := make([][]float64, d)
+	b := make([]float64, d)
+	for j := range a {
+		a[j] = make([]float64, d)
+		a[j][j] = lambda
+	}
+	for i, row := range X {
+		yc := y[i] - yMean
+		for j := 0; j < d; j++ {
+			xj := row[j] - xMean[j]
+			b[j] += xj * yc
+			for k := j; k < d; k++ {
+				a[j][k] += xj * (row[k] - xMean[k])
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		for k := 0; k < j; k++ {
+			a[j][k] = a[k][j]
+		}
+	}
+
+	w, err := solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	intercept := yMean
+	for j := range w {
+		intercept -= w[j] * xMean[j]
+	}
+	return &Ridge{weights: w, intercept: intercept}, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a (mutated).
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(a[r][col]) > abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(a[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("linear: singular system (column %d); increase lambda", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	w := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for k := r + 1; k < n; k++ {
+			sum -= a[r][k] * w[k]
+		}
+		w[r] = sum / a[r][r]
+	}
+	return w, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Predict evaluates the model at x.
+func (r *Ridge) Predict(x []float64) float64 {
+	out := r.intercept
+	for j, w := range r.weights {
+		out += w * x[j]
+	}
+	return out
+}
+
+// PredictBatch predicts for every row of X.
+func (r *Ridge) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = r.Predict(x)
+	}
+	return out
+}
+
+// Weights returns a copy of the fitted coefficients.
+func (r *Ridge) Weights() []float64 { return append([]float64(nil), r.weights...) }
+
+// Intercept returns the fitted intercept.
+func (r *Ridge) Intercept() float64 { return r.intercept }

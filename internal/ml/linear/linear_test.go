@@ -1,0 +1,88 @@
+package linear
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestRecoversLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	trueW := []float64{2.5, -1.0, 0.5}
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		v := 3.0
+		for j := range trueW {
+			v += trueW[j] * x[j]
+		}
+		X = append(X, x)
+		y = append(y, v)
+	}
+	r, err := FitRidge(X, y, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, w := range r.Weights() {
+		if math.Abs(w-trueW[j]) > 1e-6 {
+			t.Fatalf("weight %d = %v, want %v", j, w, trueW[j])
+		}
+	}
+	if math.Abs(r.Intercept()-3.0) > 1e-6 {
+		t.Fatalf("intercept = %v, want 3", r.Intercept())
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	X := [][]float64{{-1}, {0}, {1}}
+	y := []float64{-10, 0, 10}
+	loose, err := FitRidge(X, y, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := FitRidge(X, y, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tight.Weights()[0]) >= math.Abs(loose.Weights()[0]) {
+		t.Fatalf("ridge did not shrink: %v vs %v", tight.Weights()[0], loose.Weights()[0])
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	// Two perfectly collinear features with lambda 0.
+	X := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	y := []float64{1, 2, 3}
+	if _, err := FitRidge(X, y, 0); err == nil {
+		t.Fatal("singular system accepted with lambda=0")
+	}
+	if _, err := FitRidge(X, y, 0.1); err != nil {
+		t.Fatalf("ridge should regularize collinearity: %v", err)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitRidge(nil, nil, 1); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := FitRidge([][]float64{{1}}, []float64{1, 2}, 1); err == nil {
+		t.Fatal("mismatched data accepted")
+	}
+	if _, err := FitRidge([][]float64{{1}}, []float64{1}, -1); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}}
+	y := []float64{1, 3, 5}
+	r, err := FitRidge(X, y, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.PredictBatch([][]float64{{3}, {4}})
+	if math.Abs(got[0]-7) > 1e-6 || math.Abs(got[1]-9) > 1e-6 {
+		t.Fatalf("PredictBatch = %v, want [7 9]", got)
+	}
+}

@@ -1,0 +1,164 @@
+// Package tree implements CART regression trees grown with XGBoost-style
+// second-order gradient statistics: exact greedy splitting with the gain
+//
+//	G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ) − γ
+//
+// and leaf weights −G/(H+λ). Growing a tree on gradients g_i = −y_i,
+// h_i = 1, λ = 0 degenerates to a plain mean-predicting regression tree,
+// which the random forest builds on.
+package tree
+
+import (
+	"math"
+	"sort"
+)
+
+// Options controls tree growth.
+type Options struct {
+	MaxDepth       int     // maximum depth; 0 means a single leaf
+	MinChildWeight float64 // minimum sum of h per child
+	Lambda         float64 // L2 regularization on leaf weights
+	Gamma          float64 // minimum gain to accept a split
+}
+
+// DefaultOptions mirrors sensible xgboost defaults for small tabular data.
+func DefaultOptions() Options {
+	return Options{MaxDepth: 4, MinChildWeight: 1, Lambda: 1, Gamma: 0}
+}
+
+// Tree is a grown regression tree.
+type Tree struct {
+	root *node
+}
+
+type node struct {
+	feature   int
+	threshold float64
+	gain      float64 // split gain (for feature importance)
+	left      *node
+	right     *node
+	leaf      bool
+	value     float64
+}
+
+// Grow builds a tree from rows (indices into X/g/h) considering only the
+// given feature columns. g and h are the per-sample first and second
+// derivatives of the loss at the current prediction.
+func Grow(X [][]float64, g, h []float64, rows []int, cols []int, opt Options) *Tree {
+	if opt.MinChildWeight <= 0 {
+		opt.MinChildWeight = 1e-12
+	}
+	return &Tree{root: grow(X, g, h, rows, cols, opt, 0)}
+}
+
+func grow(X [][]float64, g, h []float64, rows []int, cols []int, opt Options, depth int) *node {
+	var gSum, hSum float64
+	for _, r := range rows {
+		gSum += g[r]
+		hSum += h[r]
+	}
+	leaf := &node{leaf: true, value: -gSum / (hSum + opt.Lambda)}
+	if depth >= opt.MaxDepth || len(rows) < 2 {
+		return leaf
+	}
+
+	parentScore := gSum * gSum / (hSum + opt.Lambda)
+	bestGain := opt.Gamma
+	bestFeature, bestThreshold := -1, 0.0
+
+	order := make([]int, len(rows))
+	for _, f := range cols {
+		copy(order, rows)
+		sort.Slice(order, func(i, j int) bool { return X[order[i]][f] < X[order[j]][f] })
+		var gl, hl float64
+		for i := 0; i < len(order)-1; i++ {
+			r := order[i]
+			gl += g[r]
+			hl += h[r]
+			// Split only between distinct feature values.
+			if X[order[i]][f] == X[order[i+1]][f] {
+				continue
+			}
+			gr, hr := gSum-gl, hSum-hl
+			if hl < opt.MinChildWeight || hr < opt.MinChildWeight {
+				continue
+			}
+			gain := gl*gl/(hl+opt.Lambda) + gr*gr/(hr+opt.Lambda) - parentScore
+			if gain > bestGain {
+				bestGain = gain
+				bestFeature = f
+				bestThreshold = (X[order[i]][f] + X[order[i+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return leaf
+	}
+
+	var leftRows, rightRows []int
+	for _, r := range rows {
+		if X[r][bestFeature] < bestThreshold {
+			leftRows = append(leftRows, r)
+		} else {
+			rightRows = append(rightRows, r)
+		}
+	}
+	if len(leftRows) == 0 || len(rightRows) == 0 {
+		return leaf
+	}
+	return &node{
+		feature:   bestFeature,
+		threshold: bestThreshold,
+		gain:      bestGain,
+		left:      grow(X, g, h, leftRows, cols, opt, depth+1),
+		right:     grow(X, g, h, rightRows, cols, opt, depth+1),
+	}
+}
+
+// Predict returns the tree's output for feature vector x.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] < n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the maximum depth of the tree (0 for a single leaf).
+func (t *Tree) Depth() int { return depth(t.root) }
+
+func depth(n *node) int {
+	if n.leaf {
+		return 0
+	}
+	return 1 + int(math.Max(float64(depth(n.left)), float64(depth(n.right))))
+}
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int { return leaves(t.root) }
+
+func leaves(n *node) int {
+	if n.leaf {
+		return 1
+	}
+	return leaves(n.left) + leaves(n.right)
+}
+
+// AccumulateGains adds every split's gain to into[feature] — the basis of
+// gain-based feature importance. into must be sized to the feature count.
+func (t *Tree) AccumulateGains(into []float64) { accumulateGains(t.root, into) }
+
+func accumulateGains(n *node, into []float64) {
+	if n.leaf {
+		return
+	}
+	if n.feature >= 0 && n.feature < len(into) {
+		into[n.feature] += n.gain
+	}
+	accumulateGains(n.left, into)
+	accumulateGains(n.right, into)
+}

@@ -1,0 +1,156 @@
+package tree
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// meanTree grows a plain mean-predicting regression tree (see package doc).
+func meanTree(X [][]float64, y []float64, opt Options) *Tree {
+	g := make([]float64, len(y))
+	h := make([]float64, len(y))
+	rows := make([]int, len(y))
+	for i := range y {
+		g[i] = -y[i]
+		h[i] = 1
+		rows[i] = i
+	}
+	cols := make([]int, len(X[0]))
+	for j := range cols {
+		cols[j] = j
+	}
+	o := opt
+	o.Lambda = 0
+	return Grow(X, g, h, rows, cols, o)
+}
+
+func TestPerfectStepSplit(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {10}, {11}, {12}}
+	y := []float64{5, 5, 5, 9, 9, 9}
+	tr := meanTree(X, y, Options{MaxDepth: 3, MinChildWeight: 1})
+	for i, x := range X {
+		if got := tr.Predict(x); math.Abs(got-y[i]) > 1e-12 {
+			t.Fatalf("Predict(%v) = %v, want %v", x, got, y[i])
+		}
+	}
+	if tr.Leaves() != 2 {
+		t.Fatalf("Leaves = %d, want 2 (single split suffices)", tr.Leaves())
+	}
+}
+
+func TestDepthZeroIsSingleLeafMean(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{2, 4, 6, 8}
+	tr := meanTree(X, y, Options{MaxDepth: 0})
+	if tr.Leaves() != 1 || tr.Depth() != 0 {
+		t.Fatalf("leaves=%d depth=%d, want single leaf", tr.Leaves(), tr.Depth())
+	}
+	if got := tr.Predict([]float64{99}); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("leaf value = %v, want mean 5", got)
+	}
+}
+
+func TestConstantFeatureNeverSplits(t *testing.T) {
+	X := [][]float64{{7}, {7}, {7}, {7}}
+	y := []float64{1, 2, 3, 4}
+	tr := meanTree(X, y, Options{MaxDepth: 5, MinChildWeight: 1})
+	if tr.Leaves() != 1 {
+		t.Fatalf("split on constant feature: %d leaves", tr.Leaves())
+	}
+}
+
+func TestMinChildWeightBlocksTinySplits(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{0, 0, 0, 100}
+	loose := meanTree(X, y, Options{MaxDepth: 3, MinChildWeight: 1})
+	strict := meanTree(X, y, Options{MaxDepth: 3, MinChildWeight: 2})
+	if loose.Leaves() < 2 {
+		t.Fatalf("loose tree refused an obvious split")
+	}
+	// With MinChildWeight=2, the outlier cannot be isolated alone.
+	for _, x := range X {
+		if p := strict.Predict(x); p == 100 {
+			t.Fatalf("strict tree isolated a single sample despite MinChildWeight=2")
+		}
+	}
+}
+
+func TestGammaBlocksWeakSplits(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{1.0, 1.01, 0.99, 1.02}
+	tr := meanTree(X, y, Options{MaxDepth: 3, MinChildWeight: 1, Gamma: 10})
+	if tr.Leaves() != 1 {
+		t.Fatalf("gamma=10 should suppress near-noise splits; got %d leaves", tr.Leaves())
+	}
+}
+
+func TestDepthLimitRespected(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	X := make([][]float64, 200)
+	y := make([]float64, 200)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64()}
+		y[i] = rng.Float64() * 10
+	}
+	for _, d := range []int{1, 2, 3, 5} {
+		tr := meanTree(X, y, Options{MaxDepth: d, MinChildWeight: 1})
+		if tr.Depth() > d {
+			t.Fatalf("Depth() = %d exceeds MaxDepth %d", tr.Depth(), d)
+		}
+	}
+}
+
+func TestMeanTreePredictionsWithinTargetRangeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 13))
+		n := 2 + rng.IntN(60)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range X {
+			X[i] = []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64()}
+			y[i] = rng.Float64()*200 - 100
+			lo = math.Min(lo, y[i])
+			hi = math.Max(hi, y[i])
+		}
+		tr := meanTree(X, y, Options{MaxDepth: 4, MinChildWeight: 1})
+		for i := 0; i < 20; i++ {
+			x := []float64{rng.Float64() * 100, rng.Float64() * 100, rng.Float64()}
+			p := tr.Predict(x)
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLambdaShrinksLeaves(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	g := []float64{-10, -10} // both targets are 10
+	h := []float64{1, 1}
+	plain := Grow(X, g, h, []int{0, 1}, []int{0}, Options{MaxDepth: 0, Lambda: 0})
+	reg := Grow(X, g, h, []int{0, 1}, []int{0}, Options{MaxDepth: 0, Lambda: 2})
+	if p := plain.Predict(X[0]); math.Abs(p-10) > 1e-12 {
+		t.Fatalf("lambda=0 leaf = %v, want 10", p)
+	}
+	if p := reg.Predict(X[0]); math.Abs(p-5) > 1e-12 {
+		t.Fatalf("lambda=2 leaf = %v, want 20/(2+2)=5", p)
+	}
+}
+
+func TestColumnRestriction(t *testing.T) {
+	// Feature 0 is perfectly predictive but excluded from cols.
+	X := [][]float64{{0, 5}, {0, 5}, {1, 5}, {1, 5}}
+	g := []float64{0, 0, -10, -10}
+	h := []float64{1, 1, 1, 1}
+	tr := Grow(X, g, h, []int{0, 1, 2, 3}, []int{1}, Options{MaxDepth: 3, MinChildWeight: 1})
+	if tr.Leaves() != 1 {
+		t.Fatalf("tree split on excluded feature: %d leaves", tr.Leaves())
+	}
+}

@@ -1,0 +1,193 @@
+// Package xgb implements extreme-gradient-boosted regression trees — the
+// role xgboost.XGBRegressor plays in the paper (§7.3) — with squared-error
+// loss, shrinkage, and row/column subsampling, entirely on the stdlib.
+package xgb
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"ceal/internal/ml/tree"
+)
+
+// Params configures training.
+type Params struct {
+	Rounds         int     // number of boosting rounds
+	LearningRate   float64 // shrinkage per round
+	MaxDepth       int     // per-tree depth cap
+	Lambda         float64 // L2 regularization on leaf weights
+	Gamma          float64 // minimum split gain
+	MinChildWeight float64 // minimum hessian sum per child
+	Subsample      float64 // row sampling fraction per round (1 = all)
+	ColSample      float64 // feature sampling fraction per round (1 = all)
+	Seed           uint64  // sampling seed
+}
+
+// DefaultParams suits the paper's regime: few (tens of) training samples of
+// low-dimensional configurations.
+func DefaultParams() Params {
+	return Params{
+		Rounds:         100,
+		LearningRate:   0.1,
+		MaxDepth:       4,
+		Lambda:         1,
+		MinChildWeight: 1,
+		Subsample:      1,
+		ColSample:      1,
+	}
+}
+
+// Model is a trained boosted-tree regressor.
+type Model struct {
+	base  float64
+	eta   float64
+	trees []*tree.Tree
+}
+
+// FitWithValidation trains like Fit but monitors RMSE on a held-out set
+// (Xv, yv) and stops once it has not improved for patience consecutive
+// rounds, keeping the best-so-far ensemble length. Useful when enough
+// samples exist to spare a validation split; the auto-tuners' few-sample
+// regime uses plain Fit.
+func FitWithValidation(X [][]float64, y []float64, Xv [][]float64, yv []float64, p Params, patience int) (*Model, error) {
+	if patience < 1 {
+		return nil, fmt.Errorf("xgb: patience must be >= 1")
+	}
+	if len(Xv) == 0 || len(Xv) != len(yv) {
+		return nil, fmt.Errorf("xgb: need a non-empty validation set")
+	}
+	m, err := Fit(X, y, p)
+	if err != nil {
+		return nil, err
+	}
+	// Scan validation RMSE over ensemble prefixes.
+	pred := make([]float64, len(Xv))
+	for i := range pred {
+		pred[i] = m.base
+	}
+	bestRMSE := math.Inf(1)
+	bestLen := 0
+	since := 0
+	for r, t := range m.trees {
+		var sse float64
+		for i, x := range Xv {
+			pred[i] += m.eta * t.Predict(x)
+			d := pred[i] - yv[i]
+			sse += d * d
+		}
+		rmse := math.Sqrt(sse / float64(len(yv)))
+		if rmse < bestRMSE-1e-12 {
+			bestRMSE = rmse
+			bestLen = r + 1
+			since = 0
+		} else {
+			since++
+			if since >= patience {
+				break
+			}
+		}
+	}
+	m.trees = m.trees[:bestLen]
+	return m, nil
+}
+
+// Fit trains a model on feature rows X and targets y.
+func Fit(X [][]float64, y []float64, p Params) (*Model, error) {
+	n := len(y)
+	if n == 0 || len(X) != n {
+		return nil, fmt.Errorf("xgb: need matching non-empty X (%d) and y (%d)", len(X), n)
+	}
+	if p.Rounds <= 0 || p.LearningRate <= 0 {
+		return nil, fmt.Errorf("xgb: rounds and learning rate must be positive")
+	}
+	dim := len(X[0])
+	rng := rand.New(rand.NewPCG(p.Seed, 0x9e3779b97f4a7c15))
+
+	base := 0.0
+	for _, v := range y {
+		base += v
+	}
+	base /= float64(n)
+
+	m := &Model{base: base, eta: p.LearningRate}
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = base
+	}
+	g := make([]float64, n)
+	h := make([]float64, n)
+	opt := tree.Options{MaxDepth: p.MaxDepth, MinChildWeight: p.MinChildWeight, Lambda: p.Lambda, Gamma: p.Gamma}
+
+	for round := 0; round < p.Rounds; round++ {
+		for i := 0; i < n; i++ {
+			g[i] = pred[i] - y[i] // d/dpred ½(pred−y)²
+			h[i] = 1
+		}
+		rows := sampleIndices(n, p.Subsample, rng)
+		cols := sampleIndices(dim, p.ColSample, rng)
+		t := tree.Grow(X, g, h, rows, cols, opt)
+		m.trees = append(m.trees, t)
+		for i := 0; i < n; i++ {
+			pred[i] += p.LearningRate * t.Predict(X[i])
+		}
+	}
+	return m, nil
+}
+
+// sampleIndices draws ceil(frac*n) distinct indices, or all when frac >= 1.
+func sampleIndices(n int, frac float64, rng *rand.Rand) []int {
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	if frac >= 1 || frac <= 0 {
+		return all
+	}
+	k := int(frac*float64(n) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	rng.Shuffle(n, func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:k]
+}
+
+// Predict returns the model output for one feature vector.
+func (m *Model) Predict(x []float64) float64 {
+	out := m.base
+	for _, t := range m.trees {
+		out += m.eta * t.Predict(x)
+	}
+	return out
+}
+
+// PredictBatch predicts for every row of X.
+func (m *Model) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// Rounds returns the number of trees in the ensemble.
+func (m *Model) Rounds() int { return len(m.trees) }
+
+// FeatureImportance returns gain-based importances over dim features,
+// normalized to sum to 1 (all zeros if the model never split).
+func (m *Model) FeatureImportance(dim int) []float64 {
+	gains := make([]float64, dim)
+	for _, t := range m.trees {
+		t.AccumulateGains(gains)
+	}
+	total := 0.0
+	for _, g := range gains {
+		total += g
+	}
+	if total > 0 {
+		for i := range gains {
+			gains[i] /= total
+		}
+	}
+	return gains
+}

@@ -1,0 +1,220 @@
+package xgb
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func rmse(pred, y []float64) float64 {
+	sum := 0.0
+	for i := range y {
+		d := pred[i] - y[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(y)))
+}
+
+func makeQuadratic(n int, noise float64, seed uint64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		a, b := rng.Float64()*4-2, rng.Float64()*4-2
+		X[i] = []float64{a, b}
+		y[i] = a*a + 0.5*b + rng.NormFloat64()*noise
+	}
+	return X, y
+}
+
+func TestFitReducesTrainingError(t *testing.T) {
+	X, y := makeQuadratic(80, 0.01, 1)
+	m, err := Fit(X, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseErr := 0.0
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	for _, v := range y {
+		baseErr += (v - mean) * (v - mean)
+	}
+	baseErr = math.Sqrt(baseErr / float64(len(y)))
+	fitErr := rmse(m.PredictBatch(X), y)
+	if fitErr >= baseErr/3 {
+		t.Fatalf("training RMSE %v barely better than constant baseline %v", fitErr, baseErr)
+	}
+}
+
+func TestMoreRoundsFitTighterProperty(t *testing.T) {
+	// Property: on its own training set, squared-error boosting with more
+	// rounds never fits worse (same seed, no subsampling).
+	f := func(seed uint64) bool {
+		X, y := makeQuadratic(40, 0.1, seed)
+		p := DefaultParams()
+		p.Rounds = 10
+		m10, err := Fit(X, y, p)
+		if err != nil {
+			return false
+		}
+		p.Rounds = 80
+		m80, err := Fit(X, y, p)
+		if err != nil {
+			return false
+		}
+		return rmse(m80.PredictBatch(X), y) <= rmse(m10.PredictBatch(X), y)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneralizesOnHeldOut(t *testing.T) {
+	X, y := makeQuadratic(200, 0.05, 7)
+	Xt, yt := makeQuadratic(50, 0.05, 8)
+	m, err := Fit(X, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := rmse(m.PredictBatch(Xt), yt); e > 0.5 {
+		t.Fatalf("held-out RMSE %v too high for a smooth target", e)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	X, y := makeQuadratic(60, 0.1, 3)
+	p := DefaultParams()
+	p.Subsample = 0.7
+	p.ColSample = 0.5
+	p.Seed = 42
+	m1, _ := Fit(X, y, p)
+	m2, _ := Fit(X, y, p)
+	for i := range X {
+		if m1.Predict(X[i]) != m2.Predict(X[i]) {
+			t.Fatal("same seed produced different models")
+		}
+	}
+	p.Seed = 43
+	m3, _ := Fit(X, y, p)
+	same := true
+	for i := range X {
+		if m1.Predict(X[i]) != m3.Predict(X[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical subsampled models")
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{5, 5, 5}
+	m, err := Fit(X, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{10}); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("constant target predicted as %v", got)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, DefaultParams()); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, DefaultParams()); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	p := DefaultParams()
+	p.Rounds = 0
+	if _, err := Fit([][]float64{{1}}, []float64{1}, p); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+func TestRounds(t *testing.T) {
+	X, y := makeQuadratic(20, 0.1, 5)
+	p := DefaultParams()
+	p.Rounds = 17
+	m, err := Fit(X, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rounds() != 17 {
+		t.Fatalf("Rounds = %d, want 17", m.Rounds())
+	}
+}
+
+func TestFeatureImportanceConcentrates(t *testing.T) {
+	// Target depends only on feature 0; importance must concentrate there.
+	rng := rand.New(rand.NewPCG(11, 0))
+	X := make([][]float64, 120)
+	y := make([]float64, 120)
+	for i := range X {
+		X[i] = []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		y[i] = X[i][0] * X[i][0]
+	}
+	m, err := Fit(X, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportance(3)
+	sum := imp[0] + imp[1] + imp[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances sum to %v", sum)
+	}
+	if imp[0] < 0.9 {
+		t.Fatalf("feature 0 importance %v, want > 0.9 (got %v)", imp[0], imp)
+	}
+}
+
+func TestFeatureImportanceConstantModel(t *testing.T) {
+	m, err := Fit([][]float64{{1}, {2}}, []float64{5, 5}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := m.FeatureImportance(1)
+	if imp[0] != 0 {
+		t.Fatalf("constant model importance = %v, want 0", imp[0])
+	}
+}
+
+func TestFitWithValidationStopsEarly(t *testing.T) {
+	// Noisy target: a long ensemble overfits, so validation-based stopping
+	// must pick a shorter prefix that generalizes at least as well.
+	X, y := makeQuadratic(40, 1.0, 21)
+	Xv, yv := makeQuadratic(60, 1.0, 22)
+	p := DefaultParams()
+	p.Rounds = 300
+	p.MaxDepth = 6
+	full, err := Fit(X, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped, err := FitWithValidation(X, y, Xv, yv, p, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stopped.Rounds() >= full.Rounds() {
+		t.Fatalf("early stopping kept all %d rounds", stopped.Rounds())
+	}
+	if e := rmse(stopped.PredictBatch(Xv), yv); e > rmse(full.PredictBatch(Xv), yv)+1e-9 {
+		t.Fatalf("early-stopped model worse on validation: %v", e)
+	}
+}
+
+func TestFitWithValidationErrors(t *testing.T) {
+	X, y := makeQuadratic(10, 0.1, 2)
+	if _, err := FitWithValidation(X, y, nil, nil, DefaultParams(), 5); err == nil {
+		t.Fatal("empty validation set accepted")
+	}
+	if _, err := FitWithValidation(X, y, X, y, DefaultParams(), 0); err == nil {
+		t.Fatal("zero patience accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package paperexp
+
+import (
+	"fmt"
+	"math"
+
+	"ceal/internal/metrics"
+	"ceal/internal/swift"
+	"ceal/internal/tuner"
+)
+
+// RunSpec is one cell of an experiment: a benchmark ground truth, an
+// objective, a training-sample budget, and the algorithms to compare.
+type RunSpec struct {
+	GT          *GroundTruth
+	Obj         Objective
+	Budget      int
+	WithHistory bool
+	Algorithms  []tuner.Algorithm
+	Reps        int    // replications to average (paper: 100)
+	Seed        uint64 // base seed; replication r uses Seed+r
+	Workers     int    // parallel replications (<= 1: serial)
+}
+
+// repMetrics are one algorithm's metrics from a single replication.
+type repMetrics struct {
+	normPerf   float64
+	recall     [10]float64
+	mdapeAll   float64
+	mdapeTop2  float64
+	spearman   float64
+	lnu        float64
+	cost       float64
+	switchIter int
+}
+
+// AlgStats aggregates one algorithm's results over the replications.
+type AlgStats struct {
+	Name string
+	// NormPerf is the measured performance of each replication's best
+	// predicted configuration, normalized to the pool best (>= 1; the
+	// dashed "1" lines in Figs. 5, 9, 10).
+	NormPerf []float64
+	// Recall[n-1] holds the top-n recall scores (n = 1..10) of the final
+	// model over the pool, per replication.
+	Recall [10][]float64
+	// MdAPEAll and MdAPETop2 are the final model's median absolute
+	// percentage errors over the whole pool and over the top 2% (Fig. 6).
+	MdAPEAll  []float64
+	MdAPETop2 []float64
+	// Spearman is the rank correlation between the final model's pool
+	// scores and the measured truth, per replication.
+	Spearman []float64
+	// LNU is the least number of uses (§7.2.3) per replication.
+	LNU []float64
+	// Cost is the data-collection cost per replication (metric units).
+	Cost []float64
+	// SwitchIter records CEAL's model-switch iteration per replication.
+	SwitchIter []int
+}
+
+// MeanNormPerf returns the replication-mean normalized performance.
+func (s *AlgStats) MeanNormPerf() float64 { return metrics.Mean(s.NormPerf) }
+
+// CI95NormPerf returns the half-width of the normal-approximation 95%
+// confidence interval of the mean normalized performance.
+func (s *AlgStats) CI95NormPerf() float64 {
+	n := float64(len(s.NormPerf))
+	if n < 2 {
+		return 0
+	}
+	mean := s.MeanNormPerf()
+	var ss float64
+	for _, v := range s.NormPerf {
+		ss += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(ss / (n - 1))
+	return 1.96 * sd / math.Sqrt(n)
+}
+
+// MeanRecall returns the replication-mean top-n recall (n in 1..10).
+func (s *AlgStats) MeanRecall(n int) float64 { return metrics.Mean(s.Recall[n-1]) }
+
+// MedianLNU returns the replication-median least number of uses. The
+// median is used because a single no-improvement replication yields +Inf.
+func (s *AlgStats) MedianLNU() float64 { return metrics.Median(s.LNU) }
+
+// RunBattery tunes with every algorithm over Reps replications —
+// fanned across a swift dataflow engine when Workers > 1 — and aggregates
+// the paper's metrics. Results are identical for any worker count.
+func RunBattery(spec RunSpec) ([]*AlgStats, error) {
+	if spec.Reps < 1 {
+		spec.Reps = 1
+	}
+	truth := spec.GT.Values(spec.Obj)
+	best := spec.GT.Best(spec.Obj)
+	expert := spec.GT.Expert(spec.Obj)
+
+	// Top 2% of the pool by true performance, for the MdAPE split (Fig. 6).
+	top2n := len(truth) * 2 / 100
+	if top2n < 1 {
+		top2n = 1
+	}
+	top2 := metrics.TopIndices(top2n, truth)
+
+	runRep := func(rep int) ([]repMetrics, error) {
+		problem := spec.GT.Problem(spec.Obj, spec.WithHistory, spec.Seed+uint64(rep))
+		out := make([]repMetrics, len(spec.Algorithms))
+		for i, alg := range spec.Algorithms {
+			res, err := alg.Tune(problem, spec.Budget)
+			if err != nil {
+				return nil, fmt.Errorf("paperexp: %s on %s (rep %d): %w", alg.Name(), problem.Name, rep, err)
+			}
+			actual, err := spec.GT.Lookup(res.Best, spec.Obj)
+			if err != nil {
+				return nil, err
+			}
+			rm := repMetrics{
+				normPerf:   actual / best,
+				mdapeAll:   metrics.MdAPE(truth, res.PoolScores),
+				spearman:   metrics.Spearman(res.PoolScores, truth),
+				lnu:        metrics.LeastNumberOfUses(res.CollectionCost, expert, actual),
+				cost:       res.CollectionCost,
+				switchIter: res.SwitchIteration,
+			}
+			for n := 1; n <= 10; n++ {
+				rm.recall[n-1] = metrics.RecallScore(n, res.PoolScores, truth)
+			}
+			at := make([]float64, len(top2))
+			pt := make([]float64, len(top2))
+			for k, idx := range top2 {
+				at[k] = truth[idx]
+				pt[k] = res.PoolScores[idx]
+			}
+			rm.mdapeTop2 = metrics.MdAPE(at, pt)
+			out[i] = rm
+		}
+		return out, nil
+	}
+
+	reps := make([]int, spec.Reps)
+	for r := range reps {
+		reps[r] = r
+	}
+	var allReps [][]repMetrics
+	if spec.Workers > 1 {
+		eng := swift.NewEngine(spec.Workers)
+		future := swift.Map(eng, "battery", reps, func(_ int, rep int) ([]repMetrics, error) {
+			return runRep(rep)
+		})
+		var err error
+		allReps, err = future.Wait()
+		if werr := eng.Wait(); err == nil {
+			err = werr
+		}
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for _, rep := range reps {
+			rm, err := runRep(rep)
+			if err != nil {
+				return nil, err
+			}
+			allReps = append(allReps, rm)
+		}
+	}
+
+	stats := make([]*AlgStats, len(spec.Algorithms))
+	for i, alg := range spec.Algorithms {
+		stats[i] = &AlgStats{Name: alg.Name()}
+	}
+	for _, repRes := range allReps {
+		for i, rm := range repRes {
+			st := stats[i]
+			st.NormPerf = append(st.NormPerf, rm.normPerf)
+			for n := 0; n < 10; n++ {
+				st.Recall[n] = append(st.Recall[n], rm.recall[n])
+			}
+			st.MdAPEAll = append(st.MdAPEAll, rm.mdapeAll)
+			st.MdAPETop2 = append(st.MdAPETop2, rm.mdapeTop2)
+			st.Spearman = append(st.Spearman, rm.spearman)
+			st.LNU = append(st.LNU, rm.lnu)
+			st.Cost = append(st.Cost, rm.cost)
+			st.SwitchIter = append(st.SwitchIter, rm.switchIter)
+		}
+	}
+	return stats, nil
+}

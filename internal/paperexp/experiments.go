@@ -1,0 +1,551 @@
+package paperexp
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"ceal/internal/cluster"
+	"ceal/internal/metrics"
+	"ceal/internal/tuner"
+	"ceal/internal/workflow"
+)
+
+// Options sizes an experiment run. The defaults reproduce the paper's
+// settings; tests and benches shrink them.
+type Options struct {
+	Build BuildOptions
+	Reps  int
+	Seed  uint64
+}
+
+// DefaultOptions returns the paper-scale experiment settings (§7.1, §7.3).
+func DefaultOptions() Options {
+	return Options{Build: DefaultBuildOptions(), Reps: 100, Seed: 1}
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID        string
+	Title     string
+	Workflows []string // ground truths required ("LV", "HS", "GP")
+	Run       func(gts map[string]*GroundTruth, opt Options) ([]*Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: parameter spaces of the three target workflows", nil, runTable1},
+		{"table2", "Table 2: best vs expert configurations and performance", []string{"LV", "HS", "GP"}, runTable2},
+		{"fig4", "Fig. 4: recall of the low-fidelity combination functions (LV, 500 configs)", []string{"LV"}, runFig4},
+		{"fig5", "Fig. 5: best configuration auto-tuned without historical measurements", []string{"LV", "HS", "GP"}, runFig5},
+		{"fig6", "Fig. 6: model prediction MdAPE, top 2% vs all configurations", []string{"LV", "HS", "GP"}, runFig6},
+		{"fig7", "Fig. 7: robustness (recall scores) without historical measurements", []string{"LV", "HS", "GP"}, runFig7},
+		{"fig8", "Fig. 8: practicality (least number of uses) without histories", []string{"LV", "HS"}, runFig8},
+		{"fig9", "Fig. 9: effect of historical component measurements on CEAL", []string{"LV", "HS", "GP"}, runFig9},
+		{"fig10", "Fig. 10: best configuration auto-tuned with histories, CEAL vs ALpH", []string{"LV", "HS", "GP"}, runFig10},
+		{"fig11", "Fig. 11: robustness with histories, CEAL vs ALpH", []string{"LV", "HS", "GP"}, runFig11},
+		{"fig12", "Fig. 12: practicality with histories, CEAL vs ALpH", []string{"LV", "HS"}, runFig12},
+		{"fig13", "Fig. 13: CEAL hyper-parameter sensitivity (LV computer time, 50 samples)", []string{"LV"}, runFig13},
+		{"ablation", "Ablations: combiner choice, model switch, bias escape, ensembles, BO", []string{"LV"}, runAblations},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("paperexp: unknown experiment %q", id)
+}
+
+// noHistAlgorithms is the §7.4 comparison set.
+func noHistAlgorithms() []tuner.Algorithm {
+	return []tuner.Algorithm{tuner.RS{}, tuner.NewGEIST(), tuner.NewAL(), tuner.NewCEAL()}
+}
+
+// ---------------------------------------------------------------- Table 1
+
+func runTable1(_ map[string]*GroundTruth, opt Options) ([]*Table, error) {
+	m := cluster.Default()
+	t := &Table{
+		Title:  "Table 1: parameter spaces",
+		Header: []string{"workflow", "application", "parameter", "options"},
+	}
+	sizes := &Table{
+		Title:  "Configuration-space sizes",
+		Header: []string{"workflow", "application", "raw size", "feasible size (est.)"},
+	}
+	rng := rand.New(rand.NewPCG(opt.Seed, 0x7ab1e))
+	for _, b := range workflow.Benchmarks(m) {
+		feasibleTotal := 1.0
+		for _, cs := range b.Components {
+			if cs.Space == nil {
+				t.AddRow(b.Name, cs.Name, "# processes", "1 (fixed)")
+				continue
+			}
+			for _, p := range cs.Space.Params {
+				opts := fmt.Sprintf("%d, %d, ..., %d", p.Min, p.Min+p.Step, p.Max)
+				if p.Count() <= 4 {
+					opts = fmt.Sprintf("%d ... %d", p.Min, p.Max)
+				}
+				t.AddRow(b.Name, cs.Name, p.Name, opts)
+			}
+			raw := cs.Space.RawSize()
+			feasible := raw * cs.Space.ValidFraction(rng, 20000)
+			feasibleTotal *= feasible
+			sizes.AddRow(b.Name, cs.Name, fmt.Sprintf("%.3g", raw), fmt.Sprintf("%.3g", feasible))
+		}
+		wfFeasible := b.Space.RawSize() * b.Space.ValidFraction(rng, 20000)
+		sizes.AddRow(b.Name, "(coupled workflow)", fmt.Sprintf("%.3g", b.Space.RawSize()), fmt.Sprintf("%.3g", wfFeasible))
+	}
+	sizes.Notes = append(sizes.Notes,
+		"paper sizes: LV 2.9e9 (7.6e4 x 7.6e4), HS 5.1e10 (5.4e6 x 1.9e4), GP 8.5e7 (1.9e4 x 9.0e3)")
+	return []*Table{t, sizes}, nil
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// paperTable2 holds the paper's reported values for side-by-side reporting.
+var paperTable2 = map[string]map[Objective][2]string{
+	"LV": {ExecTime: {"24.6 s", "36.8 s"}, CompTime: {"3.13 core-h", "4.07 core-h"}},
+	"HS": {ExecTime: {"6.02 s", "28.0 s"}, CompTime: {"0.517 core-h", "0.894 core-h"}},
+	"GP": {ExecTime: {"98.7 s", "102 s"}, CompTime: {"6.95 core-h", "5.85 core-h"}},
+}
+
+func runTable2(gts map[string]*GroundTruth, _ Options) ([]*Table, error) {
+	t := &Table{
+		Title:  "Table 2: configurations and performance of benchmarks",
+		Header: []string{"wf", "objective", "option", "performance", "configuration", "paper"},
+	}
+	for _, name := range []string{"LV", "HS", "GP"} {
+		gt := gts[name]
+		for _, obj := range []Objective{ExecTime, CompTime} {
+			unit := "s"
+			if obj == CompTime {
+				unit = "core-h"
+			}
+			ref := paperTable2[name][obj]
+			t.AddRow(name, obj.Short(), "Best",
+				fmt.Sprintf("%.3g %s", gt.Best(obj), unit), gt.BestConfig(obj).String(), ref[0])
+			expCfg := gt.Bench.ExpertExec
+			if obj == CompTime {
+				expCfg = gt.Bench.ExpertComp
+			}
+			t.AddRow(name, obj.Short(), "Expert",
+				fmt.Sprintf("%.3g %s", gt.Expert(obj), unit), expCfg.String(), ref[1])
+		}
+	}
+	t.Notes = append(t.Notes, "Best is over the measured random pool; absolute values differ from the paper (simulated substrate)")
+	return []*Table{t}, nil
+}
+
+// ------------------------------------------------------------------ Fig 4
+
+func runFig4(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
+	gt := gts["LV"]
+	n := 500
+	if n > len(gt.Pool) {
+		n = len(gt.Pool)
+	}
+	subset := gt.Pool[:n]
+
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 4: recall scores of combination-function low-fidelity models (LV, %d configs)", n),
+		Header: []string{"top n", "sum (computer time)", "random (computer)", "max (execution time)", "random (exec)"},
+	}
+	rows := map[int][4]float64{}
+	for _, obj := range []Objective{CompTime, ExecTime} {
+		p := gt.Problem(obj, true, opt.Seed)
+		scores, err := tuner.LowFidelityScores(p, 0, subset)
+		if err != nil {
+			return nil, err
+		}
+		truth := gt.Values(obj)[:n]
+		for topN := 1; topN <= 25; topN += 2 {
+			r := rows[topN]
+			if obj == CompTime {
+				r[0] = metrics.RecallScore(topN, scores, truth)
+				r[1] = float64(topN) / float64(n) * 100 // expectation of a random ranking
+			} else {
+				r[2] = metrics.RecallScore(topN, scores, truth)
+				r[3] = float64(topN) / float64(n) * 100
+			}
+			rows[topN] = r
+		}
+	}
+	for topN := 1; topN <= 25; topN += 2 {
+		r := rows[topN]
+		t.AddRow(fmt.Sprintf("%d", topN), f1(r[0]), f1(r[1]), f1(r[2]), f1(r[3]))
+	}
+	t.Notes = append(t.Notes, "paper: combination models stay above ~30% for top 2-25; random stays near n/500")
+	return []*Table{t}, nil
+}
+
+// ------------------------------------------------------------------ Fig 5
+
+// fig5Cells enumerates Fig. 5's panels.
+func fig5Cells() []struct {
+	WF      string
+	Obj     Objective
+	Budgets []int
+} {
+	return []struct {
+		WF      string
+		Obj     Objective
+		Budgets []int
+	}{
+		{"LV", ExecTime, []int{50, 100}},
+		{"LV", CompTime, []int{25, 50}},
+		{"HS", ExecTime, []int{50, 100}},
+		{"HS", CompTime, []int{25, 50}},
+		{"GP", CompTime, []int{25, 50}},
+	}
+}
+
+func runFig5(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
+	t := &Table{
+		Title:  "Fig. 5: normalized performance of the best auto-tuned configuration (no histories; 1 = pool best)",
+		Header: []string{"wf", "objective", "m", "RS", "GEIST", "AL", "CEAL"},
+	}
+	for _, cell := range fig5Cells() {
+		for _, m := range cell.Budgets {
+			stats, err := RunBattery(RunSpec{
+				GT: gts[cell.WF], Obj: cell.Obj, Budget: m,
+				Algorithms: noHistAlgorithms(), Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(cell.WF, cell.Obj.Short(), fmt.Sprintf("%d", m),
+				f3(stats[0].MeanNormPerf()), f3(stats[1].MeanNormPerf()),
+				f3(stats[2].MeanNormPerf()), f3(stats[3].MeanNormPerf()))
+		}
+	}
+	t.Notes = append(t.Notes, "paper shape: CEAL lowest in every cell; RS/GEIST can exceed 2x on small budgets")
+	return []*Table{t}, nil
+}
+
+// ------------------------------------------------------------------ Fig 6
+
+func runFig6(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
+	cells := []struct {
+		WF     string
+		Obj    Objective
+		Budget int
+	}{
+		{"LV", CompTime, 50},
+		{"HS", ExecTime, 100},
+		{"GP", CompTime, 25},
+	}
+	t := &Table{
+		Title:  "Fig. 6: prediction MdAPE (%) of auto-tuning models without histories",
+		Header: []string{"cell", "dataset", "RS", "GEIST", "AL", "CEAL"},
+	}
+	for _, cell := range cells {
+		stats, err := RunBattery(RunSpec{
+			GT: gts[cell.WF], Obj: cell.Obj, Budget: cell.Budget,
+			Algorithms: noHistAlgorithms(), Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%s %s (%d spls)", cell.WF, cell.Obj.Short(), cell.Budget)
+		t.AddRow(label, "top 2%",
+			f1(metrics.Mean(stats[0].MdAPETop2)), f1(metrics.Mean(stats[1].MdAPETop2)),
+			f1(metrics.Mean(stats[2].MdAPETop2)), f1(metrics.Mean(stats[3].MdAPETop2)))
+		t.AddRow(label, "all",
+			f1(metrics.Mean(stats[0].MdAPEAll)), f1(metrics.Mean(stats[1].MdAPEAll)),
+			f1(metrics.Mean(stats[2].MdAPEAll)), f1(metrics.Mean(stats[3].MdAPEAll)))
+	}
+	t.Notes = append(t.Notes, "paper shape: CEAL's top-2% MdAPE is much lower than the others'; over all configs it is comparable or a little higher")
+	return []*Table{t}, nil
+}
+
+// ------------------------------------------------------------------ Fig 7
+
+func runFig7(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
+	panels := []struct {
+		WF     string
+		Obj    Objective
+		Budget int
+	}{
+		{"LV", ExecTime, 100},
+		{"HS", ExecTime, 100},
+		{"LV", CompTime, 50},
+		{"GP", CompTime, 50},
+	}
+	var out []*Table
+	for _, panel := range panels {
+		stats, err := RunBattery(RunSpec{
+			GT: gts[panel.WF], Obj: panel.Obj, Budget: panel.Budget,
+			Algorithms: noHistAlgorithms(), Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			Title: fmt.Sprintf("Fig. 7: recall scores (%%), %s %s (%d spls), no histories",
+				panel.WF, panel.Obj.Short(), panel.Budget),
+			Header: []string{"top n", "RS", "GEIST", "AL", "CEAL"},
+		}
+		for n := 1; n <= 9; n++ {
+			t.AddRow(fmt.Sprintf("%d", n),
+				f1(stats[0].MeanRecall(n)), f1(stats[1].MeanRecall(n)),
+				f1(stats[2].MeanRecall(n)), f1(stats[3].MeanRecall(n)))
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ------------------------------------------------------------------ Fig 8
+
+func runFig8(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
+	t := &Table{
+		Title:  "Fig. 8: practicality without histories — least number of uses (computer time, 50 samples)",
+		Header: []string{"wf", "AL", "CEAL"},
+	}
+	for _, wf := range []string{"LV", "HS"} {
+		stats, err := RunBattery(RunSpec{
+			GT: gts[wf], Obj: CompTime, Budget: 50,
+			Algorithms: []tuner.Algorithm{tuner.NewAL(), tuner.NewCEAL()},
+			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(wf, f0(stats[0].MedianLNU()), f0(stats[1].MedianLNU()))
+	}
+	t.Notes = append(t.Notes,
+		"median over replications; paper (means): LV 782 (AL) vs 716 (CEAL)",
+		"RS/GEIST are omitted as in the paper: with 25-50 samples they do not beat the expert configuration")
+	return []*Table{t}, nil
+}
+
+// ------------------------------------------------------------------ Fig 9
+
+func fig9Cells() []struct {
+	WF      string
+	Obj     Objective
+	Budgets []int
+} {
+	return []struct {
+		WF      string
+		Obj     Objective
+		Budgets []int
+	}{
+		{"LV", ExecTime, []int{50, 100}},
+		{"HS", ExecTime, []int{50, 100}},
+		{"LV", CompTime, []int{25, 50}},
+		{"HS", CompTime, []int{25, 50}},
+		{"GP", CompTime, []int{25, 50}},
+	}
+}
+
+func runFig9(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
+	t := &Table{
+		Title:  "Fig. 9: CEAL with vs without historical component measurements (normalized best config)",
+		Header: []string{"wf", "objective", "m", "CEAL w/o histories", "CEAL w/ histories"},
+	}
+	for _, cell := range fig9Cells() {
+		for _, m := range cell.Budgets {
+			without, err := RunBattery(RunSpec{
+				GT: gts[cell.WF], Obj: cell.Obj, Budget: m,
+				Algorithms: []tuner.Algorithm{tuner.NewCEAL()}, Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			with, err := RunBattery(RunSpec{
+				GT: gts[cell.WF], Obj: cell.Obj, Budget: m, WithHistory: true,
+				Algorithms: []tuner.Algorithm{tuner.NewCEAL()}, Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(cell.WF, cell.Obj.Short(), fmt.Sprintf("%d", m),
+				f3(without[0].MeanNormPerf()), f3(with[0].MeanNormPerf()))
+		}
+	}
+	t.Notes = append(t.Notes, "paper shape: histories help in most cells (e.g. 25-sample computer time: LV -7.8%, HS -38.9%, GP -6.6%)")
+	return []*Table{t}, nil
+}
+
+// ----------------------------------------------------------------- Fig 10
+
+func runFig10(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
+	t := &Table{
+		Title:  "Fig. 10: best configuration auto-tuned with histories (normalized)",
+		Header: []string{"wf", "objective", "m", "CEAL", "ALpH"},
+	}
+	for _, cell := range fig9Cells() {
+		for _, m := range cell.Budgets {
+			stats, err := RunBattery(RunSpec{
+				GT: gts[cell.WF], Obj: cell.Obj, Budget: m, WithHistory: true,
+				Algorithms: []tuner.Algorithm{tuner.NewCEAL(), tuner.NewALpH()},
+				Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(cell.WF, cell.Obj.Short(), fmt.Sprintf("%d", m),
+				f3(stats[0].MeanNormPerf()), f3(stats[1].MeanNormPerf()))
+		}
+	}
+	t.Notes = append(t.Notes, "paper shape: CEAL below ALpH in every cell (white-box combining beats learned combining)")
+	return []*Table{t}, nil
+}
+
+// ----------------------------------------------------------------- Fig 11
+
+func runFig11(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
+	panels := []struct {
+		WF     string
+		Obj    Objective
+		Budget int
+	}{
+		{"LV", ExecTime, 50},
+		{"HS", ExecTime, 50},
+		{"LV", CompTime, 25},
+		{"GP", CompTime, 25},
+	}
+	var out []*Table
+	for _, panel := range panels {
+		stats, err := RunBattery(RunSpec{
+			GT: gts[panel.WF], Obj: panel.Obj, Budget: panel.Budget, WithHistory: true,
+			Algorithms: []tuner.Algorithm{tuner.NewCEAL(), tuner.NewALpH()},
+			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			Title: fmt.Sprintf("Fig. 11: recall scores (%%), %s %s (%d spls), with histories",
+				panel.WF, panel.Obj.Short(), panel.Budget),
+			Header: []string{"top n", "CEAL", "ALpH"},
+		}
+		for n := 1; n <= 9; n++ {
+			t.AddRow(fmt.Sprintf("%d", n), f1(stats[0].MeanRecall(n)), f1(stats[1].MeanRecall(n)))
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ----------------------------------------------------------------- Fig 12
+
+func runFig12(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
+	ta := &Table{
+		Title:  "Fig. 12a: least number of uses with histories, execution time",
+		Header: []string{"cell", "CEAL", "ALpH"},
+	}
+	for _, cell := range []struct {
+		WF     string
+		Budget int
+	}{{"LV", 50}, {"HS", 100}} {
+		stats, err := RunBattery(RunSpec{
+			GT: gts[cell.WF], Obj: ExecTime, Budget: cell.Budget, WithHistory: true,
+			Algorithms: []tuner.Algorithm{tuner.NewCEAL(), tuner.NewALpH()},
+			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ta.AddRow(fmt.Sprintf("%s (%d spls)", cell.WF, cell.Budget),
+			f0(stats[0].MedianLNU()), f0(stats[1].MedianLNU()))
+	}
+	tb := &Table{
+		Title:  "Fig. 12b: least number of uses with histories, computer time",
+		Header: []string{"cell", "CEAL", "ALpH"},
+	}
+	for _, cell := range []struct {
+		WF     string
+		Budget int
+	}{{"LV", 25}, {"LV", 50}, {"HS", 25}, {"HS", 50}} {
+		stats, err := RunBattery(RunSpec{
+			GT: gts[cell.WF], Obj: CompTime, Budget: cell.Budget, WithHistory: true,
+			Algorithms: []tuner.Algorithm{tuner.NewCEAL(), tuner.NewALpH()},
+			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(fmt.Sprintf("%s (%d spls)", cell.WF, cell.Budget),
+			f0(stats[0].MedianLNU()), f0(stats[1].MedianLNU()))
+	}
+	ta.Notes = append(ta.Notes, "paper: CEAL LV exec (50 spls) recoups after 164 runs; ALpH HS exec reaches 16501")
+	return []*Table{ta, tb}, nil
+}
+
+// ----------------------------------------------------------------- Fig 13
+
+func runFig13(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
+	gt := gts["LV"]
+	const budget = 50
+
+	run := func(o tuner.CEALOptions, withHist bool) (float64, error) {
+		stats, err := RunBattery(RunSpec{
+			GT: gt, Obj: CompTime, Budget: budget, WithHistory: withHist,
+			Algorithms: []tuner.Algorithm{&tuner.CEAL{Opts: &o}},
+			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+		})
+		if err != nil {
+			return 0, err
+		}
+		// Fig. 13 plots absolute computer time of the predicted best.
+		return stats[0].MeanNormPerf() * gt.Best(CompTime), nil
+	}
+
+	ta := &Table{
+		Title:  "Fig. 13a: computer time vs iterations I (LV, 50 samples)",
+		Header: []string{"I", "CEAL w/o hist (m0=0.05m, mR=0.8m)", "CEAL w/ hist (m0=0.15m, mR=0)"},
+	}
+	for i := 1; i <= 10; i++ {
+		vNo, err := run(tuner.CEALOptions{Iterations: i, RandomFrac: 0.05, ComponentFrac: 0.8}, false)
+		if err != nil {
+			return nil, err
+		}
+		vYes, err := run(tuner.CEALOptions{Iterations: i, RandomFrac: 0.15}, true)
+		if err != nil {
+			return nil, err
+		}
+		ta.AddRow(fmt.Sprintf("%d", i), f2(vNo), f2(vYes))
+	}
+
+	tb := &Table{
+		Title:  "Fig. 13b: computer time vs random-sample share m0/m (LV, 50 samples)",
+		Header: []string{"m0/m (%)", "CEAL w/o hist (I=8, mR=0.8m)", "CEAL w/ hist (I=3, mR=0)"},
+	}
+	for pct := 5; pct <= 95; pct += 10 {
+		frac := float64(pct) / 100
+		noCell := "-"
+		if frac <= 0.2 { // w/o histories only m - mR is available for random samples
+			v, err := run(tuner.CEALOptions{Iterations: 8, RandomFrac: frac, ComponentFrac: 0.8}, false)
+			if err != nil {
+				return nil, err
+			}
+			noCell = f2(v)
+		}
+		v, err := run(tuner.CEALOptions{Iterations: 3, RandomFrac: frac}, true)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(fmt.Sprintf("%d", pct), noCell, f2(v))
+	}
+
+	tc := &Table{
+		Title:  "Fig. 13c: computer time vs component-run share mR/m (LV, 50 samples, no histories)",
+		Header: []string{"mR/m (%)", "CEAL w/o hist (I=8, m0=0.05m)"},
+	}
+	for pct := 5; pct <= 85; pct += 10 {
+		v, err := run(tuner.CEALOptions{Iterations: 8, RandomFrac: 0.05, ComponentFrac: float64(pct) / 100}, false)
+		if err != nil {
+			return nil, err
+		}
+		tc.AddRow(fmt.Sprintf("%d", pct), f2(v))
+	}
+	ta.Notes = append(ta.Notes, "paper shape: converges by ~8 iterations w/o histories, faster with; stable over wide m0 and mR ranges")
+	return []*Table{ta, tb, tc}, nil
+}

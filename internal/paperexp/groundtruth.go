@@ -1,0 +1,285 @@
+// Package paperexp reproduces the paper's experimental evaluation (§7):
+// ground-truth construction for the three benchmark workflows, the
+// algorithm battery with replication, and one driver per table and figure
+// (Tables 1–2, Figures 4–13) plus the design-choice ablations.
+package paperexp
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"ceal/internal/cfgspace"
+	"ceal/internal/emews"
+	"ceal/internal/metrics"
+	"ceal/internal/tuner"
+	"ceal/internal/workflow"
+)
+
+// Objective selects the optimization metric.
+type Objective int
+
+const (
+	// ExecTime minimizes wall-clock execution time (seconds).
+	ExecTime Objective = iota
+	// CompTime minimizes consumed computer time (core-hours).
+	CompTime
+	// Energy minimizes consumed energy (kilojoules) — the paper's §4
+	// example of an aggregate metric; an extension beyond its evaluation.
+	Energy
+)
+
+// String returns the metric name as used in the paper's figures.
+func (o Objective) String() string {
+	switch o {
+	case ExecTime:
+		return "execution time"
+	case CompTime:
+		return "computer time"
+	default:
+		return "energy"
+	}
+}
+
+// Short returns a compact label.
+func (o Objective) Short() string {
+	switch o {
+	case ExecTime:
+		return "exec"
+	case CompTime:
+		return "comp"
+	default:
+		return "energy"
+	}
+}
+
+// GroundTruth is the pre-measured test dataset of one benchmark (§7.1): a
+// pool of workflow configurations with in-situ measurements under both
+// objectives, per-component standalone measurement sets, and the expert
+// configurations' performance.
+type GroundTruth struct {
+	Bench  *workflow.Benchmark
+	Pool   []cfgspace.Config
+	Exec   []float64 // in-situ execution time per pool configuration
+	Comp   []float64 // in-situ computer time per pool configuration
+	Energy []float64 // in-situ energy per pool configuration (kJ)
+
+	// CompExec/CompComp/CompEnergy hold each configurable component's
+	// standalone measurements (the paper's 500 random component
+	// configurations); empty for unconfigurable components.
+	CompExec   [][]tuner.Sample
+	CompComp   [][]tuner.Sample
+	CompEnergy [][]tuner.Sample
+	// FixedExec/FixedComp/FixedEnergy are the solo measurements of
+	// unconfigurable components (zero for configurable ones).
+	FixedExec   []float64
+	FixedComp   []float64
+	FixedEnergy []float64
+
+	// ExpertExec, ExpertComp and ExpertEnergy are the expert
+	// configurations' measured performance under their objectives (the
+	// computer-time expert doubles as the energy expert).
+	ExpertExec   float64
+	ExpertComp   float64
+	ExpertEnergy float64
+
+	poolIdx map[string]int
+}
+
+// Values returns the pool measurements for an objective.
+func (gt *GroundTruth) Values(obj Objective) []float64 {
+	switch obj {
+	case ExecTime:
+		return gt.Exec
+	case CompTime:
+		return gt.Comp
+	default:
+		return gt.Energy
+	}
+}
+
+// Best returns the best (lowest) pool value for an objective.
+func (gt *GroundTruth) Best(obj Objective) float64 {
+	vals := gt.Values(obj)
+	return vals[metrics.TopIndices(1, vals)[0]]
+}
+
+// BestConfig returns the best pool configuration for an objective.
+func (gt *GroundTruth) BestConfig(obj Objective) cfgspace.Config {
+	return gt.Pool[metrics.TopIndices(1, gt.Values(obj))[0]]
+}
+
+// Expert returns the expert configuration's value for an objective.
+func (gt *GroundTruth) Expert(obj Objective) float64 {
+	switch obj {
+	case ExecTime:
+		return gt.ExpertExec
+	case CompTime:
+		return gt.ExpertComp
+	default:
+		return gt.ExpertEnergy
+	}
+}
+
+// Lookup returns the pool measurement of cfg under an objective.
+func (gt *GroundTruth) Lookup(cfg cfgspace.Config, obj Objective) (float64, error) {
+	i, ok := gt.poolIdx[cfg.Key()]
+	if !ok {
+		return 0, fmt.Errorf("paperexp: configuration %v not in the measured pool", cfg)
+	}
+	return gt.Values(obj)[i], nil
+}
+
+// BuildOptions sizes a ground-truth build.
+type BuildOptions struct {
+	PoolSize         int    // workflow configurations to measure (paper: 2000)
+	ComponentSamples int    // standalone runs per configurable component (paper: 500)
+	Seed             uint64 // drives sampling and measurement noise
+	Workers          int    // parallel simulation width (<=0: serial)
+}
+
+// DefaultBuildOptions returns the paper-scale settings.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{PoolSize: 2000, ComponentSamples: 500, Seed: 1, Workers: 8}
+}
+
+// BuildGroundTruth measures a benchmark's pool and component sets on the
+// cluster simulator. Every measurement's noise is keyed to the sample
+// index, so the result is byte-for-byte reproducible regardless of worker
+// scheduling.
+func BuildGroundTruth(b *workflow.Benchmark, opt BuildOptions) (*GroundTruth, error) {
+	if opt.PoolSize < 2 || opt.ComponentSamples < 1 {
+		return nil, fmt.Errorf("paperexp: need pool >= 2 and component samples >= 1")
+	}
+	rng := rand.New(rand.NewPCG(opt.Seed, 0xfeed))
+	gt := &GroundTruth{
+		Bench:       b,
+		Pool:        b.Space.SampleN(rng, opt.PoolSize),
+		CompExec:    make([][]tuner.Sample, len(b.Components)),
+		CompComp:    make([][]tuner.Sample, len(b.Components)),
+		CompEnergy:  make([][]tuner.Sample, len(b.Components)),
+		FixedExec:   make([]float64, len(b.Components)),
+		FixedComp:   make([]float64, len(b.Components)),
+		FixedEnergy: make([]float64, len(b.Components)),
+		poolIdx:     make(map[string]int, opt.PoolSize),
+	}
+	runner := &emews.Runner{Workers: opt.Workers, MaxRetries: 3}
+
+	// Measure the workflow pool.
+	tasks := make([]emews.Task, len(gt.Pool))
+	comps := make([]float64, len(gt.Pool))
+	energies := make([]float64, len(gt.Pool))
+	for i, cfg := range gt.Pool {
+		i, cfg := i, cfg
+		gt.poolIdx[cfg.Key()] = i
+		tasks[i] = func(int) (float64, error) {
+			w, err := b.Build(cfg)
+			if err != nil {
+				return 0, err
+			}
+			noise := rand.New(rand.NewPCG(opt.Seed, 0x1000000+uint64(i)))
+			meas, err := w.Measure(noise)
+			if err != nil {
+				return 0, err
+			}
+			comps[i] = meas.CompTime
+			energies[i] = meas.EnergyKJ
+			return meas.ExecTime, nil
+		}
+	}
+	execs, err := runner.RunAll(tasks)
+	if err != nil {
+		return nil, fmt.Errorf("paperexp: measure %s pool: %w", b.Name, err)
+	}
+	gt.Exec = execs
+	gt.Comp = comps
+	gt.Energy = energies
+
+	// Measure the component sets.
+	for j, cs := range b.Components {
+		if cs.Space == nil {
+			meas, err := workflow.RunSolo(b.Machine, cs.BuildSolo(nil), cs.InBytesPerStep)
+			if err != nil {
+				return nil, fmt.Errorf("paperexp: measure fixed %s/%s: %w", b.Name, cs.Name, err)
+			}
+			gt.FixedExec[j] = meas.ExecTime
+			gt.FixedComp[j] = meas.CompTime
+			gt.FixedEnergy[j] = meas.EnergyKJ
+			continue
+		}
+		cfgs := cs.Space.SampleN(rng, opt.ComponentSamples)
+		compTimes := make([]float64, len(cfgs))
+		compEnergies := make([]float64, len(cfgs))
+		soloTasks := make([]emews.Task, len(cfgs))
+		for i, cfg := range cfgs {
+			i, cfg, cs, j := i, cfg, cs, j
+			soloTasks[i] = func(int) (float64, error) {
+				noise := rand.New(rand.NewPCG(opt.Seed, 0x2000000+uint64(j)<<20+uint64(i)))
+				meas, err := workflow.MeasureSolo(b.Machine, cs.BuildSolo(cfg), cs.InBytesPerStep, noise)
+				if err != nil {
+					return 0, err
+				}
+				compTimes[i] = meas.CompTime
+				compEnergies[i] = meas.EnergyKJ
+				return meas.ExecTime, nil
+			}
+		}
+		soloExecs, err := runner.RunAll(soloTasks)
+		if err != nil {
+			return nil, fmt.Errorf("paperexp: measure %s/%s set: %w", b.Name, cs.Name, err)
+		}
+		for i, cfg := range cfgs {
+			gt.CompExec[j] = append(gt.CompExec[j], tuner.Sample{Cfg: cfg, Value: soloExecs[i]})
+			gt.CompComp[j] = append(gt.CompComp[j], tuner.Sample{Cfg: cfg, Value: compTimes[i]})
+			gt.CompEnergy[j] = append(gt.CompEnergy[j], tuner.Sample{Cfg: cfg, Value: compEnergies[i]})
+		}
+	}
+
+	// Measure the expert configurations (noiseless reference).
+	for _, x := range []struct {
+		cfg  cfgspace.Config
+		into *float64
+	}{
+		{b.ExpertExec, &gt.ExpertExec},
+		{b.ExpertComp, &gt.ExpertComp},
+	} {
+		w, err := b.Build(x.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("paperexp: expert config of %s: %w", b.Name, err)
+		}
+		meas, err := w.RunInSitu()
+		if err != nil {
+			return nil, err
+		}
+		if x.into == &gt.ExpertExec {
+			*x.into = meas.ExecTime
+		} else {
+			*x.into = meas.CompTime
+			gt.ExpertEnergy = meas.EnergyKJ
+		}
+	}
+	return gt, nil
+}
+
+// componentSamples returns the component measurement sets for an objective.
+func (gt *GroundTruth) componentSamples(obj Objective) [][]tuner.Sample {
+	switch obj {
+	case ExecTime:
+		return gt.CompExec
+	case CompTime:
+		return gt.CompComp
+	default:
+		return gt.CompEnergy
+	}
+}
+
+// fixedValues returns the unconfigurable components' solo values.
+func (gt *GroundTruth) fixedValues(obj Objective) []float64 {
+	switch obj {
+	case ExecTime:
+		return gt.FixedExec
+	case CompTime:
+		return gt.FixedComp
+	default:
+		return gt.FixedEnergy
+	}
+}

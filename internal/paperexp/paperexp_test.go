@@ -1,0 +1,281 @@
+package paperexp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ceal/internal/cluster"
+	"ceal/internal/tuner"
+	"ceal/internal/workflow"
+)
+
+// tinyGT builds a reduced ground truth for a benchmark (cached per test
+// binary: building even the tiny sets takes a noticeable fraction of a
+// second, and the experiments only read them).
+var gtCache = map[string]*GroundTruth{}
+
+func tinyGT(t *testing.T, name string) *GroundTruth {
+	t.Helper()
+	if gt, ok := gtCache[name]; ok {
+		return gt
+	}
+	b, err := workflow.ByName(cluster.Default(), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := BuildGroundTruth(b, BuildOptions{PoolSize: 120, ComponentSamples: 60, Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtCache[name] = gt
+	return gt
+}
+
+func tinyOpts() Options {
+	return Options{
+		Build: BuildOptions{PoolSize: 120, ComponentSamples: 60, Seed: 1, Workers: 4},
+		Reps:  2,
+		Seed:  5,
+	}
+}
+
+func allTinyGTs(t *testing.T) map[string]*GroundTruth {
+	return map[string]*GroundTruth{
+		"LV": tinyGT(t, "LV"),
+		"HS": tinyGT(t, "HS"),
+		"GP": tinyGT(t, "GP"),
+	}
+}
+
+func TestBuildGroundTruthBasics(t *testing.T) {
+	gt := tinyGT(t, "LV")
+	if len(gt.Pool) != 120 || len(gt.Exec) != 120 || len(gt.Comp) != 120 {
+		t.Fatalf("pool sizes wrong: %d/%d/%d", len(gt.Pool), len(gt.Exec), len(gt.Comp))
+	}
+	for i := range gt.Pool {
+		if gt.Exec[i] <= 0 || gt.Comp[i] <= 0 {
+			t.Fatalf("nonpositive measurement at %d", i)
+		}
+		// Computer time is exec * nodes * cores / 3600; nodes within [2,32].
+		ratio := gt.Comp[i] * 3600 / gt.Exec[i] / 36
+		if ratio < 2-1e-6 || ratio > 32+1e-6 {
+			t.Fatalf("implied node count %v out of range for %v", ratio, gt.Pool[i])
+		}
+	}
+	for j, samples := range gt.CompExec {
+		if gt.Bench.Components[j].Space == nil {
+			if len(samples) != 0 {
+				t.Fatalf("fixed component %d has samples", j)
+			}
+			if gt.FixedExec[j] <= 0 {
+				t.Fatalf("fixed component %d missing solo measurement", j)
+			}
+			continue
+		}
+		if len(samples) != 60 {
+			t.Fatalf("component %d has %d samples, want 60", j, len(samples))
+		}
+	}
+	if gt.ExpertExec <= 0 || gt.ExpertComp <= 0 {
+		t.Fatal("expert measurements missing")
+	}
+}
+
+func TestGroundTruthDeterministic(t *testing.T) {
+	b, _ := workflow.ByName(cluster.Default(), "LV")
+	opt := BuildOptions{PoolSize: 40, ComponentSamples: 20, Seed: 9, Workers: 8}
+	g1, err := BuildGroundTruth(b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := BuildGroundTruth(b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g1.Pool {
+		if g1.Pool[i].Key() != g2.Pool[i].Key() || g1.Exec[i] != g2.Exec[i] || g1.Comp[i] != g2.Comp[i] {
+			t.Fatalf("ground truth not reproducible at %d despite parallel workers", i)
+		}
+	}
+}
+
+func TestLookupUnknownConfig(t *testing.T) {
+	gt := tinyGT(t, "LV")
+	if _, err := gt.Lookup(gt.Bench.ExpertExec, ExecTime); err == nil {
+		// The expert config is extremely unlikely to be in a 120-random
+		// pool; Lookup must reject configs without measurements.
+		t.Fatal("Lookup accepted a configuration outside the pool")
+	}
+}
+
+func TestProblemRoundTrip(t *testing.T) {
+	gt := tinyGT(t, "HS")
+	for _, obj := range []Objective{ExecTime, CompTime} {
+		for _, hist := range []bool{false, true} {
+			p := gt.Problem(obj, hist, 3)
+			res, err := tuner.NewCEAL().Tune(p, 12)
+			if err != nil {
+				t.Fatalf("%v hist=%v: %v", obj, hist, err)
+			}
+			if _, err := gt.Lookup(res.Best, obj); err != nil {
+				t.Fatalf("best config not from pool: %v", err)
+			}
+		}
+	}
+}
+
+func TestRunBatteryMetrics(t *testing.T) {
+	gt := tinyGT(t, "LV")
+	stats, err := RunBattery(RunSpec{
+		GT: gt, Obj: CompTime, Budget: 12,
+		Algorithms: []tuner.Algorithm{tuner.RS{}, tuner.NewCEAL()},
+		Reps:       3, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 || stats[0].Name != "RS" || stats[1].Name != "CEAL" {
+		t.Fatalf("stats order wrong: %+v", stats)
+	}
+	for _, st := range stats {
+		if len(st.NormPerf) != 3 {
+			t.Fatalf("%s: %d reps recorded", st.Name, len(st.NormPerf))
+		}
+		if st.MeanNormPerf() < 1 {
+			t.Fatalf("%s: normalized perf %v below 1 (pool best)", st.Name, st.MeanNormPerf())
+		}
+		for n := 1; n <= 10; n++ {
+			r := st.MeanRecall(n)
+			if r < 0 || r > 100 {
+				t.Fatalf("%s: recall(%d) = %v", st.Name, n, r)
+			}
+		}
+		if len(st.Cost) != 3 || st.Cost[0] <= 0 {
+			t.Fatalf("%s: cost not recorded", st.Name)
+		}
+	}
+}
+
+func TestObjectiveStrings(t *testing.T) {
+	if ExecTime.String() != "execution time" || CompTime.Short() != "comp" {
+		t.Fatal("objective labels wrong")
+	}
+	if Energy.String() != "energy" || Energy.Short() != "energy" {
+		t.Fatal("energy labels wrong")
+	}
+}
+
+func TestEnergyObjectiveEndToEnd(t *testing.T) {
+	gt := tinyGT(t, "LV")
+	if len(gt.Energy) != len(gt.Pool) || gt.ExpertEnergy <= 0 {
+		t.Fatal("energy ground truth missing")
+	}
+	for i, e := range gt.Energy {
+		if e <= 0 {
+			t.Fatalf("nonpositive energy at %d", i)
+		}
+	}
+	stats, err := RunBattery(RunSpec{
+		GT: gt, Obj: Energy, Budget: 12,
+		Algorithms: []tuner.Algorithm{tuner.NewCEAL()},
+		Reps:       2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].MeanNormPerf() < 1 {
+		t.Fatalf("energy norm perf %v below pool best", stats[0].MeanNormPerf())
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, want := range []string{"table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablation"} {
+		if !ids[want] {
+			t.Fatalf("experiment %s missing", want)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestAllExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny experiment sweep skipped in -short mode")
+	}
+	gts := allTinyGTs(t)
+	opt := tinyOpts()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(gts, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tab := range tables {
+				s := tab.String()
+				if !strings.Contains(s, tab.Header[0]) {
+					t.Fatalf("%s: render missing header: %s", e.ID, s)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Header) {
+						t.Fatalf("%s: row width %d != header %d in %q", e.ID, len(row), len(tab.Header), tab.Title)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "Demo",
+		Header: []string{"a", "bb"},
+		Notes:  []string{"hello"},
+	}
+	tab.AddRow("1", "2")
+	s := tab.String()
+	for _, want := range []string{"Demo", "a", "bb", "note: hello"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if f2(1.234) != "1.23" || f1(1.26) != "1.3" || f0(7.6) != "8" || f3(0.1234) != "0.123" {
+		t.Fatal("format helpers wrong")
+	}
+	if f2(math.Inf(1)) != "-" || f1(math.NaN()) != "-" {
+		t.Fatal("non-finite formatting wrong")
+	}
+}
+
+// allTinyAlgorithms is the fast algorithm set used by battery tests.
+func allTinyAlgorithms() []tuner.Algorithm {
+	return []tuner.Algorithm{tuner.RS{}, tuner.NewGEIST(), tuner.NewAL(), tuner.NewCEAL()}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b"}}
+	tab.AddRow("1,5", `say "hi"`)
+	got := tab.CSV()
+	want := "a,b\n\"1,5\",\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,159 @@
+package paperexp
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ceal/internal/cfgspace"
+	"ceal/internal/cluster"
+	"ceal/internal/tuner"
+	"ceal/internal/workflow"
+)
+
+// Ground truths take minutes to measure at paper scale on a real system
+// (and seconds here); persisting them makes experiment reruns and
+// historical-measurement reuse (§7.5) cheap. The format is gzipped JSON;
+// only the built-in benchmarks (LV, HS, GP) round-trip, since the file
+// stores the benchmark by name.
+
+// gtFileVersion guards against stale cache files after format changes.
+const gtFileVersion = 2
+
+type sampleFile struct {
+	Cfg   []int
+	Value float64
+}
+
+type gtFile struct {
+	Version      int
+	Workflow     string
+	Pool         [][]int
+	Exec         []float64
+	Comp         []float64
+	Energy       []float64
+	CompExec     [][]sampleFile
+	CompComp     [][]sampleFile
+	CompEnergy   [][]sampleFile
+	FixedExec    []float64
+	FixedComp    []float64
+	FixedEnergy  []float64
+	ExpertExec   float64
+	ExpertComp   float64
+	ExpertEnergy float64
+}
+
+func toSampleFiles(in []tuner.Sample) []sampleFile {
+	out := make([]sampleFile, len(in))
+	for i, s := range in {
+		out[i] = sampleFile{Cfg: s.Cfg, Value: s.Value}
+	}
+	return out
+}
+
+func fromSampleFiles(in []sampleFile) []tuner.Sample {
+	out := make([]tuner.Sample, len(in))
+	for i, s := range in {
+		out[i] = tuner.Sample{Cfg: cfgspace.Config(s.Cfg), Value: s.Value}
+	}
+	return out
+}
+
+// Save writes the ground truth to path as gzipped JSON.
+func (gt *GroundTruth) Save(path string) error {
+	f := gtFile{
+		Version:      gtFileVersion,
+		Workflow:     gt.Bench.Name,
+		Exec:         gt.Exec,
+		Comp:         gt.Comp,
+		Energy:       gt.Energy,
+		FixedExec:    gt.FixedExec,
+		FixedComp:    gt.FixedComp,
+		FixedEnergy:  gt.FixedEnergy,
+		ExpertExec:   gt.ExpertExec,
+		ExpertComp:   gt.ExpertComp,
+		ExpertEnergy: gt.ExpertEnergy,
+	}
+	for _, cfg := range gt.Pool {
+		f.Pool = append(f.Pool, cfg)
+	}
+	for j := range gt.CompExec {
+		f.CompExec = append(f.CompExec, toSampleFiles(gt.CompExec[j]))
+		f.CompComp = append(f.CompComp, toSampleFiles(gt.CompComp[j]))
+		f.CompEnergy = append(f.CompEnergy, toSampleFiles(gt.CompEnergy[j]))
+	}
+
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("paperexp: save ground truth: %w", err)
+	}
+	defer out.Close()
+	zw := gzip.NewWriter(out)
+	if err := json.NewEncoder(zw).Encode(&f); err != nil {
+		return fmt.Errorf("paperexp: encode ground truth: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// LoadGroundTruth reads a ground truth saved by Save and rebinds it to its
+// benchmark on machine m.
+func LoadGroundTruth(path string, m cluster.Machine) (*GroundTruth, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	zr, err := gzip.NewReader(in)
+	if err != nil {
+		return nil, fmt.Errorf("paperexp: open ground truth %s: %w", path, err)
+	}
+	defer zr.Close()
+	var f gtFile
+	if err := json.NewDecoder(zr).Decode(&f); err != nil {
+		return nil, fmt.Errorf("paperexp: decode ground truth %s: %w", path, err)
+	}
+	if f.Version != gtFileVersion {
+		return nil, fmt.Errorf("paperexp: ground truth %s has version %d, want %d (rebuild it)", path, f.Version, gtFileVersion)
+	}
+	bench, err := workflow.ByName(m, f.Workflow)
+	if err != nil {
+		return nil, err
+	}
+	gt := &GroundTruth{
+		Bench:        bench,
+		Exec:         f.Exec,
+		Comp:         f.Comp,
+		Energy:       f.Energy,
+		FixedExec:    f.FixedExec,
+		FixedComp:    f.FixedComp,
+		FixedEnergy:  f.FixedEnergy,
+		ExpertExec:   f.ExpertExec,
+		ExpertComp:   f.ExpertComp,
+		ExpertEnergy: f.ExpertEnergy,
+		poolIdx:      make(map[string]int, len(f.Pool)),
+	}
+	for i, cfg := range f.Pool {
+		c := cfgspace.Config(cfg)
+		if !bench.Space.IsValid(c) {
+			return nil, fmt.Errorf("paperexp: ground truth %s: pool entry %d (%v) invalid for %s", path, i, c, bench.Name)
+		}
+		gt.Pool = append(gt.Pool, c)
+		gt.poolIdx[c.Key()] = i
+	}
+	if len(gt.Exec) != len(gt.Pool) || len(gt.Comp) != len(gt.Pool) || len(gt.Energy) != len(gt.Pool) {
+		return nil, fmt.Errorf("paperexp: ground truth %s: measurement/pool size mismatch", path)
+	}
+	if len(f.CompExec) != len(bench.Components) {
+		return nil, fmt.Errorf("paperexp: ground truth %s: component count mismatch", path)
+	}
+	for j := range f.CompExec {
+		gt.CompExec = append(gt.CompExec, fromSampleFiles(f.CompExec[j]))
+		gt.CompComp = append(gt.CompComp, fromSampleFiles(f.CompComp[j]))
+		gt.CompEnergy = append(gt.CompEnergy, fromSampleFiles(f.CompEnergy[j]))
+	}
+	return gt, nil
+}

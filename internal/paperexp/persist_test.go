@@ -1,0 +1,116 @@
+package paperexp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ceal/internal/cluster"
+)
+
+func TestGroundTruthSaveLoadRoundTrip(t *testing.T) {
+	gt := tinyGT(t, "HS")
+	path := filepath.Join(t.TempDir(), "hs.gt.json.gz")
+	if err := gt.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadGroundTruth(path, cluster.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Bench.Name != "HS" {
+		t.Fatalf("loaded benchmark %s", loaded.Bench.Name)
+	}
+	if len(loaded.Pool) != len(gt.Pool) {
+		t.Fatalf("pool size %d, want %d", len(loaded.Pool), len(gt.Pool))
+	}
+	for i := range gt.Pool {
+		if loaded.Pool[i].Key() != gt.Pool[i].Key() {
+			t.Fatalf("pool[%d] = %v, want %v", i, loaded.Pool[i], gt.Pool[i])
+		}
+		if loaded.Exec[i] != gt.Exec[i] || loaded.Comp[i] != gt.Comp[i] || loaded.Energy[i] != gt.Energy[i] {
+			t.Fatalf("measurements differ at %d", i)
+		}
+	}
+	for j := range gt.CompExec {
+		if len(loaded.CompExec[j]) != len(gt.CompExec[j]) {
+			t.Fatalf("component %d samples %d, want %d", j, len(loaded.CompExec[j]), len(gt.CompExec[j]))
+		}
+		for i := range gt.CompExec[j] {
+			if loaded.CompExec[j][i].Value != gt.CompExec[j][i].Value {
+				t.Fatalf("component %d sample %d differs", j, i)
+			}
+		}
+	}
+	if loaded.ExpertExec != gt.ExpertExec || loaded.ExpertComp != gt.ExpertComp || loaded.ExpertEnergy != gt.ExpertEnergy {
+		t.Fatal("expert values differ")
+	}
+	// The loaded ground truth must be fully usable: run a battery on it.
+	stats, err := RunBattery(RunSpec{
+		GT: loaded, Obj: CompTime, Budget: 10,
+		Algorithms: allTinyAlgorithms(), Reps: 1, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) == 0 || stats[0].MeanNormPerf() < 1 {
+		t.Fatal("loaded ground truth battery broken")
+	}
+}
+
+func TestLoadGroundTruthRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.gz")
+	if err := os.WriteFile(path, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGroundTruth(path, cluster.Default()); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+	if _, err := LoadGroundTruth(filepath.Join(dir, "missing.gz"), cluster.Default()); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBatteryParallelMatchesSerial(t *testing.T) {
+	gt := tinyGT(t, "LV")
+	run := func(workers int) []*AlgStats {
+		stats, err := RunBattery(RunSpec{
+			GT: gt, Obj: CompTime, Budget: 12,
+			Algorithms: allTinyAlgorithms(),
+			Reps:       4, Seed: 9, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	serial := run(1)
+	parallel := run(8)
+	for a := range serial {
+		for r := range serial[a].NormPerf {
+			if serial[a].NormPerf[r] != parallel[a].NormPerf[r] {
+				t.Fatalf("alg %s rep %d: serial %v != parallel %v",
+					serial[a].Name, r, serial[a].NormPerf[r], parallel[a].NormPerf[r])
+			}
+		}
+		if serial[a].MeanRecall(3) != parallel[a].MeanRecall(3) {
+			t.Fatalf("alg %s recall differs across worker counts", serial[a].Name)
+		}
+	}
+}
+
+func TestCI95NormPerf(t *testing.T) {
+	st := &AlgStats{NormPerf: []float64{1, 1, 1, 1}}
+	if st.CI95NormPerf() != 0 {
+		t.Fatal("constant series should have zero CI")
+	}
+	st2 := &AlgStats{NormPerf: []float64{1, 2, 1, 2}}
+	if st2.CI95NormPerf() <= 0 {
+		t.Fatal("varying series should have positive CI")
+	}
+	st3 := &AlgStats{NormPerf: []float64{1}}
+	if st3.CI95NormPerf() != 0 {
+		t.Fatal("single sample should have zero CI")
+	}
+}

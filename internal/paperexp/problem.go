@@ -1,0 +1,102 @@
+package paperexp
+
+import (
+	"fmt"
+
+	"ceal/internal/acm"
+	"ceal/internal/cfgspace"
+	"ceal/internal/tuner"
+)
+
+// gtEvaluator serves measurements from a pre-built ground truth — exactly
+// how the paper evaluates algorithms against its measured test dataset.
+type gtEvaluator struct {
+	gt      *GroundTruth
+	obj     Objective
+	compIdx []map[string]int
+}
+
+func newGTEvaluator(gt *GroundTruth, obj Objective) *gtEvaluator {
+	e := &gtEvaluator{gt: gt, obj: obj, compIdx: make([]map[string]int, len(gt.Bench.Components))}
+	for j, samples := range gt.componentSamples(obj) {
+		e.compIdx[j] = make(map[string]int, len(samples))
+		for i, s := range samples {
+			e.compIdx[j][s.Cfg.Key()] = i
+		}
+	}
+	return e
+}
+
+// MeasureWorkflow implements tuner.Evaluator by pool lookup.
+func (e *gtEvaluator) MeasureWorkflow(cfg cfgspace.Config) (float64, error) {
+	return e.gt.Lookup(cfg, e.obj)
+}
+
+// MeasureComponent implements tuner.Evaluator from the component sets.
+func (e *gtEvaluator) MeasureComponent(j int, cfg cfgspace.Config) (float64, error) {
+	if cfg == nil {
+		return e.gt.fixedValues(e.obj)[j], nil
+	}
+	i, ok := e.compIdx[j][cfg.Key()]
+	if !ok {
+		return 0, fmt.Errorf("paperexp: component %d configuration %v not in the measured set", j, cfg)
+	}
+	return e.gt.componentSamples(e.obj)[j][i].Value, nil
+}
+
+// combinerFor maps an objective to its white-box combining function: max
+// for execution time (Eqn. 1); the bottleneck-scaled aggregate for the
+// charged-allocation metrics (computer time and energy — allocated nodes
+// draw power and accrue core-hours for the whole makespan).
+func combinerFor(obj Objective) acm.Combiner {
+	return acm.ForObjective(obj != ExecTime)
+}
+
+// Problem builds a tuner.Problem over this ground truth. withHistory
+// exposes the full component measurement sets as free historical data
+// (§7.5); otherwise CEAL must spend budget measuring components, drawing
+// from the pre-measured candidate sets.
+func (gt *GroundTruth) Problem(obj Objective, withHistory bool, seed uint64) *tuner.Problem {
+	b := gt.Bench
+	comps := make([]tuner.ComponentInfo, len(b.Components))
+	compPool := make([][]cfgspace.Config, len(b.Components))
+	history := make([][]tuner.Sample, len(b.Components))
+	for j, cs := range b.Components {
+		cs := cs
+		comps[j] = tuner.ComponentInfo{Name: cs.Name, Space: cs.Space}
+		comps[j].Cores = func(cfg cfgspace.Config) float64 {
+			c := cs.BuildSolo(cfg)
+			return float64(c.Nodes() * b.Machine.CoresPerNode)
+		}
+		if cs.Space == nil {
+			continue
+		}
+		comps[j].Features = func(cfg cfgspace.Config) []float64 {
+			return cs.Features(b.Machine, cfg)
+		}
+		samples := gt.componentSamples(obj)[j]
+		if withHistory {
+			history[j] = samples
+		} else {
+			for _, s := range samples {
+				compPool[j] = append(compPool[j], s.Cfg)
+			}
+		}
+	}
+	p := &tuner.Problem{
+		Name:          fmt.Sprintf("%s/%s", b.Name, obj.Short()),
+		Space:         b.Space,
+		Components:    comps,
+		Pool:          gt.Pool,
+		Eval:          newGTEvaluator(gt, obj),
+		Combiner:      combinerFor(obj),
+		ComponentPool: compPool,
+		Features:      b.Features,
+		FeatureNames:  b.FeatureNames(),
+		Seed:          seed,
+	}
+	if withHistory {
+		p.History = history
+	}
+	return p
+}

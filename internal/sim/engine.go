@@ -1,0 +1,207 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine drives a set of cooperating processes, each running in its own
+// goroutine, with a strict one-at-a-time handoff protocol: at any instant
+// either the engine loop or exactly one process is running. Event ordering
+// is total — events at equal simulated times are processed in scheduling
+// order — so a simulation with fixed inputs always produces identical
+// results, which the auto-tuning experiments rely on.
+//
+// Higher-level primitives (Resource, Store, Waiter) are built on two engine
+// operations only: scheduling a callback at a future simulated time, and
+// parking/waking a process.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	yield  chan struct{}
+	live   int     // processes spawned and not yet finished
+	parked []*Proc // processes currently blocked on a primitive
+	closed bool
+}
+
+type event struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// NewEngine returns an engine with simulated time 0.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn after delay seconds of simulated time. A negative or NaN
+// delay is treated as zero. Schedule may be called from process context or
+// from another event callback.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if !(delay > 0) || math.IsNaN(delay) {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.events, event{time: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// DeadlockError reports processes still parked when the event queue drained.
+type DeadlockError struct {
+	// Parked lists the names of processes that can never run again.
+	Parked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock: %d process(es) parked forever: %v", len(d.Parked), d.Parked)
+}
+
+// Run processes events until the queue is empty. It returns a *DeadlockError
+// if any spawned process is still blocked when no events remain; those
+// processes are killed (their goroutines unwound) before Run returns, so an
+// engine never leaks goroutines.
+func (e *Engine) Run() error {
+	if e.closed {
+		return fmt.Errorf("sim: engine already run")
+	}
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.time > e.now {
+			e.now = ev.time
+		}
+		ev.fn()
+	}
+	e.closed = true
+	if e.live == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(e.parked))
+	for _, p := range e.parked {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	err := &DeadlockError{Parked: names}
+	// Unwind the stuck goroutines so the engine leaks nothing.
+	for len(e.parked) > 0 {
+		p := e.parked[0]
+		e.parked = e.parked[1:]
+		p.killed = true
+		e.resume(p)
+	}
+	return err
+}
+
+// resume hands control to p and blocks until p parks or finishes.
+func (e *Engine) resume(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// unpark removes p from the parked set and schedules it to continue at the
+// current simulated time (after delay seconds if delay > 0).
+func (e *Engine) unpark(p *Proc, delay float64) {
+	for i, q := range e.parked {
+		if q == p {
+			e.parked = append(e.parked[:i], e.parked[i+1:]...)
+			break
+		}
+	}
+	e.Schedule(delay, func() { e.resume(p) })
+}
+
+// Proc is a simulated process. Its methods must only be called from within
+// the process's own body function.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	killed bool
+}
+
+// killedSignal unwinds a killed process's goroutine via panic/recover.
+type killedSignal struct{}
+
+// Spawn starts a new process running body at the current simulated time.
+// body receives the process handle for use with blocking primitives.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedSignal); !ok {
+					panic(r)
+				}
+			}
+			e.live--
+			e.yield <- struct{}{}
+		}()
+		body(p)
+	}()
+	e.Schedule(0, func() { e.resume(p) })
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// park blocks the process until some other code unparks it.
+func (p *Proc) park() {
+	p.eng.parked = append(p.eng.parked, p)
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killedSignal{})
+	}
+}
+
+// Sleep advances the process by d seconds of simulated time.
+func (p *Proc) Sleep(d float64) {
+	if !(d > 0) || math.IsNaN(d) {
+		d = 0
+	}
+	p.eng.Schedule(d, func() { p.eng.unparkDirect(p) })
+	p.park()
+}
+
+// unparkDirect resumes p immediately from event context (p must be parked).
+func (e *Engine) unparkDirect(p *Proc) {
+	for i, q := range e.parked {
+		if q == p {
+			e.parked = append(e.parked[:i], e.parked[i+1:]...)
+			e.resume(p)
+			return
+		}
+	}
+	panic("sim: unpark of process that is not parked: " + p.name)
+}

@@ -1,0 +1,134 @@
+package sim
+
+// Waiter is a condition-variable-like primitive: processes wait on it and
+// are woken, in FIFO order, by Wake or WakeAll. Wakes take effect at the
+// current simulated time.
+type Waiter struct {
+	eng *Engine
+	q   []*Proc
+}
+
+// NewWaiter returns a Waiter bound to the engine.
+func NewWaiter(e *Engine) *Waiter { return &Waiter{eng: e} }
+
+// Wait parks the calling process until it is woken.
+func (w *Waiter) Wait(p *Proc) {
+	w.q = append(w.q, p)
+	p.park()
+}
+
+// Wake unparks the oldest waiting process, if any, and reports whether a
+// process was woken.
+func (w *Waiter) Wake() bool {
+	if len(w.q) == 0 {
+		return false
+	}
+	p := w.q[0]
+	w.q = w.q[1:]
+	w.eng.unpark(p, 0)
+	return true
+}
+
+// WakeAll unparks every waiting process in FIFO order.
+func (w *Waiter) WakeAll() {
+	for w.Wake() {
+	}
+}
+
+// Waiting returns the number of processes currently parked on the waiter.
+func (w *Waiter) Waiting() int { return len(w.q) }
+
+// Resource is a counted resource (semaphore) with FIFO admission. It models
+// things like staging-server service slots.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	q        []*Proc
+}
+
+// NewResource returns a resource with the given capacity (capacity >= 1).
+func NewResource(e *Engine, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{eng: e, capacity: capacity}
+}
+
+// Acquire blocks the process until a unit of the resource is available,
+// then claims it. Admission is strictly FIFO.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.q) == 0 {
+		r.inUse++
+		return
+	}
+	r.q = append(r.q, p)
+	p.park()
+	// The releaser transferred its unit to us before waking us.
+}
+
+// Release returns a unit of the resource; if processes are queued the unit
+// transfers directly to the oldest one.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: resource release without acquire")
+	}
+	if len(r.q) > 0 {
+		p := r.q[0]
+		r.q = r.q[1:]
+		r.eng.unpark(p, 0) // unit stays claimed, now by p
+		return
+	}
+	r.inUse--
+}
+
+// InUse returns the number of currently claimed units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// Store is a bounded FIFO buffer of items exchanged between processes. Put
+// blocks while the store is full; Get blocks while it is empty. It models a
+// staging buffer with backpressure.
+type Store struct {
+	eng      *Engine
+	capacity int
+	items    []any
+	getters  *Waiter
+	putters  *Waiter
+}
+
+// NewStore returns a store holding at most capacity items (capacity >= 1).
+func NewStore(e *Engine, capacity int) *Store {
+	if capacity < 1 {
+		panic("sim: store capacity must be >= 1")
+	}
+	return &Store{eng: e, capacity: capacity, getters: NewWaiter(e), putters: NewWaiter(e)}
+}
+
+// Put appends item, blocking while the store is full.
+func (s *Store) Put(p *Proc, item any) {
+	for len(s.items) >= s.capacity {
+		s.putters.Wait(p)
+	}
+	s.items = append(s.items, item)
+	s.getters.Wake()
+}
+
+// Get removes and returns the oldest item, blocking while the store is empty.
+func (s *Store) Get(p *Proc) any {
+	for len(s.items) == 0 {
+		s.getters.Wait(p)
+	}
+	item := s.items[0]
+	s.items = s.items[1:]
+	s.putters.Wake()
+	return item
+}
+
+// Len returns the number of buffered items.
+func (s *Store) Len() int { return len(s.items) }
+
+// Capacity returns the maximum number of buffered items.
+func (s *Store) Capacity() int { return s.capacity }

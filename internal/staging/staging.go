@@ -1,0 +1,115 @@
+// Package staging models the ADIOS-class coupling layer between in-situ
+// workflow components: a bounded, chunked streaming channel with
+// backpressure. A producer emits each step's payload as staging chunks
+// into a bounded send queue; a staging daemon moves chunks over the shared
+// fabric; the consumer drains a bounded receive queue. When the consumer
+// falls behind, the queues fill and the producer blocks — the run-time
+// synchronization that makes in-situ workflow performance hard to predict
+// from solo runs (§2.3).
+package staging
+
+import (
+	"math"
+
+	"ceal/internal/fabric"
+	"ceal/internal/sim"
+)
+
+// Plan describes how one step's payload is split into staging chunks.
+type Plan struct {
+	PerStep   int     // chunks per step (>= 1 for producing components)
+	Bytes     float64 // size of every chunk but the last
+	LastBytes float64 // size of the final (possibly short) chunk
+}
+
+// NewPlan splits a per-step payload into chunks of at most chunkBytes
+// (chunkBytes <= 0 means the whole payload moves as one chunk).
+func NewPlan(payloadBytes, chunkBytes float64) Plan {
+	if payloadBytes <= 0 {
+		return Plan{}
+	}
+	if chunkBytes <= 0 || chunkBytes >= payloadBytes {
+		return Plan{PerStep: 1, Bytes: payloadBytes, LastBytes: payloadBytes}
+	}
+	n := int(math.Ceil(payloadBytes / chunkBytes))
+	return Plan{
+		PerStep:   n,
+		Bytes:     chunkBytes,
+		LastBytes: payloadBytes - float64(n-1)*chunkBytes,
+	}
+}
+
+// Size returns the size of chunk i (0-based) within a step.
+func (p Plan) Size(i int) float64 {
+	if p.PerStep <= 1 || i == p.PerStep-1 {
+		return p.LastBytes
+	}
+	return p.Bytes
+}
+
+// Channel is one coupling stream between a producer and a consumer.
+type Channel struct {
+	Plan    Plan
+	RateCap float64 // per-flow bandwidth cap (endpoint injection limit)
+
+	sendQ *sim.Store
+	recvQ *sim.Store
+}
+
+// DefaultSlots is the channel depth in chunks on each side (double
+// buffering, matching typical staging-library defaults).
+const DefaultSlots = 2
+
+// NewChannel creates a channel with the given chunk plan and per-flow rate
+// cap, using slots chunk buffers on each side (<= 0 selects DefaultSlots).
+func NewChannel(e *sim.Engine, plan Plan, rateCap float64, slots int) *Channel {
+	if slots <= 0 {
+		slots = DefaultSlots
+	}
+	return &Channel{
+		Plan:    plan,
+		RateCap: rateCap,
+		sendQ:   sim.NewStore(e, slots),
+		recvQ:   sim.NewStore(e, slots),
+	}
+}
+
+// StartDaemon spawns the staging daemon process that moves chunks from the
+// send queue over the link into the receive queue, for steps steps.
+func (c *Channel) StartDaemon(e *sim.Engine, name string, link *fabric.Link, steps int, latency float64) {
+	total := steps * c.Plan.PerStep
+	e.Spawn(name, func(p *sim.Proc) {
+		for k := 0; k < total; k++ {
+			bytes := c.sendQ.Get(p).(float64)
+			link.Transfer(p, bytes, c.RateCap, latency)
+			c.recvQ.Put(p, bytes)
+		}
+	})
+}
+
+// SendStep emits one step's payload chunk by chunk, paying emitCost per
+// chunk on the producer side, blocking under backpressure.
+func (c *Channel) SendStep(p *sim.Proc, emitCost func(bytes float64) float64) {
+	for k := 0; k < c.Plan.PerStep; k++ {
+		bytes := c.Plan.Size(k)
+		if emitCost != nil {
+			p.Sleep(emitCost(bytes))
+		}
+		c.sendQ.Put(p, bytes)
+	}
+}
+
+// RecvStep drains one step's payload chunk by chunk, paying ingestCost per
+// chunk on the consumer side, blocking until data arrives.
+func (c *Channel) RecvStep(p *sim.Proc, ingestCost func(bytes float64) float64) {
+	for k := 0; k < c.Plan.PerStep; k++ {
+		bytes := c.recvQ.Get(p).(float64)
+		if ingestCost != nil {
+			p.Sleep(ingestCost(bytes))
+		}
+	}
+}
+
+// Buffered returns the number of chunks currently queued on both sides
+// (not counting one possibly in flight on the fabric).
+func (c *Channel) Buffered() int { return c.sendQ.Len() + c.recvQ.Len() }

@@ -1,0 +1,140 @@
+// Package swift is a small dataflow task engine modeled on Swift/T's
+// implicit task parallelism — the driver the paper's auto-tuner system is
+// built with (§7.1). Tasks declare data dependencies through write-once
+// futures; a task becomes runnable when all its dependencies resolve and
+// executes on a bounded worker pool. Because futures are write-once and
+// results are gathered by position, a swift program's outputs are
+// deterministic regardless of scheduling.
+//
+// The experiment harness uses it to fan replications of the auto-tuning
+// batteries across cores.
+package swift
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Engine runs dataflow tasks on at most workers concurrent goroutines.
+type Engine struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu      sync.Mutex
+	failure error
+}
+
+// NewEngine returns an engine with the given parallel width (< 1 is
+// treated as 1).
+func NewEngine(workers int) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Engine{sem: make(chan struct{}, workers)}
+}
+
+// Awaitable is anything a task can depend on.
+type Awaitable interface {
+	await() error
+}
+
+// Future is a write-once result of type T.
+type Future[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Wait blocks until the future resolves and returns its value.
+func (f *Future[T]) Wait() (T, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+func (f *Future[T]) await() error {
+	<-f.done
+	return f.err
+}
+
+// Resolved returns an already-resolved future carrying val (useful as a
+// dependency-free input).
+func Resolved[T any](val T) *Future[T] {
+	f := &Future[T]{done: make(chan struct{}), val: val}
+	close(f.done)
+	return f
+}
+
+// fail records the engine's first failure.
+func (e *Engine) fail(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.failure == nil {
+		e.failure = err
+	}
+}
+
+// Submit schedules fn to run once every dependency resolves successfully,
+// and returns the future of its result. If a dependency failed, fn is not
+// run and the future carries the dependency's error.
+func Submit[T any](e *Engine, name string, deps []Awaitable, fn func() (T, error)) *Future[T] {
+	f := &Future[T]{done: make(chan struct{})}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer close(f.done)
+		for _, d := range deps {
+			if err := d.await(); err != nil {
+				f.err = fmt.Errorf("swift: task %s: dependency failed: %w", name, err)
+				e.fail(f.err)
+				return
+			}
+		}
+		e.sem <- struct{}{}
+		defer func() { <-e.sem }()
+		val, err := fn()
+		if err != nil {
+			f.err = fmt.Errorf("swift: task %s: %w", name, err)
+			e.fail(f.err)
+			return
+		}
+		f.val = val
+	}()
+	return f
+}
+
+// Map runs fn over every index of items in parallel and returns a future
+// of the results in input order — swift's foreach.
+func Map[T, R any](e *Engine, name string, items []T, fn func(i int, item T) (R, error)) *Future[[]R] {
+	futures := make([]*Future[R], len(items))
+	for i := range items {
+		i := i
+		item := items[i]
+		futures[i] = Submit(e, fmt.Sprintf("%s[%d]", name, i), nil, func() (R, error) {
+			return fn(i, item)
+		})
+	}
+	deps := make([]Awaitable, len(futures))
+	for i, f := range futures {
+		deps[i] = f
+	}
+	return Submit(e, name+":gather", deps, func() ([]R, error) {
+		out := make([]R, len(futures))
+		for i, f := range futures {
+			v, err := f.Wait()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	})
+}
+
+// Wait blocks until every submitted task finishes and returns the first
+// failure, if any.
+func (e *Engine) Wait() error {
+	e.wg.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.failure
+}

@@ -1,0 +1,158 @@
+package swift
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubmitAndWait(t *testing.T) {
+	e := NewEngine(4)
+	f := Submit(e, "answer", nil, func() (int, error) { return 42, nil })
+	v, err := f.Wait()
+	if err != nil || v != 42 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDependencyOrdering(t *testing.T) {
+	e := NewEngine(8)
+	var order atomic.Int32
+	a := Submit(e, "a", nil, func() (int32, error) {
+		time.Sleep(10 * time.Millisecond)
+		return order.Add(1), nil
+	})
+	b := Submit(e, "b", []Awaitable{a}, func() (int32, error) {
+		return order.Add(1), nil
+	})
+	av, _ := a.Wait()
+	bv, _ := b.Wait()
+	if av != 1 || bv != 2 {
+		t.Fatalf("dependency ran out of order: a=%d b=%d", av, bv)
+	}
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFutureValueFlowsThroughDeps(t *testing.T) {
+	e := NewEngine(2)
+	a := Submit(e, "a", nil, func() (int, error) { return 7, nil })
+	b := Submit(e, "b", []Awaitable{a}, func() (int, error) {
+		v, err := a.Wait() // already resolved: cheap
+		if err != nil {
+			return 0, err
+		}
+		return v * 6, nil
+	})
+	if v, err := b.Wait(); err != nil || v != 42 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	_ = e.Wait()
+}
+
+func TestErrorPropagatesToDependents(t *testing.T) {
+	e := NewEngine(2)
+	bad := Submit(e, "bad", nil, func() (int, error) { return 0, fmt.Errorf("boom") })
+	ran := false
+	dep := Submit(e, "dep", []Awaitable{bad}, func() (int, error) {
+		ran = true
+		return 1, nil
+	})
+	if _, err := dep.Wait(); err == nil {
+		t.Fatal("dependent of failed task succeeded")
+	}
+	if ran {
+		t.Fatal("dependent body ran despite failed dependency")
+	}
+	if err := e.Wait(); err == nil {
+		t.Fatal("engine did not record failure")
+	}
+}
+
+func TestWorkerBound(t *testing.T) {
+	const workers = 3
+	e := NewEngine(workers)
+	var running, maxRunning atomic.Int32
+	for i := 0; i < 20; i++ {
+		Submit(e, "task", nil, func() (struct{}, error) {
+			cur := running.Add(1)
+			for {
+				prev := maxRunning.Load()
+				if cur <= prev || maxRunning.CompareAndSwap(prev, cur) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			running.Add(-1)
+			return struct{}{}, nil
+		})
+	}
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := maxRunning.Load(); got > workers {
+		t.Fatalf("%d tasks ran concurrently, cap is %d", got, workers)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	e := NewEngine(8)
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	f := Map(e, "square", items, func(i, item int) (int, error) {
+		if i%7 == 0 {
+			time.Sleep(time.Millisecond) // jitter the completion order
+		}
+		return item * item, nil
+	})
+	out, err := f.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapError(t *testing.T) {
+	e := NewEngine(4)
+	f := Map(e, "m", []int{1, 2, 3}, func(i, item int) (int, error) {
+		if item == 2 {
+			return 0, fmt.Errorf("item 2 broken")
+		}
+		return item, nil
+	})
+	if _, err := f.Wait(); err == nil {
+		t.Fatal("map with failing item succeeded")
+	}
+	_ = e.Wait()
+}
+
+func TestResolved(t *testing.T) {
+	f := Resolved("hello")
+	v, err := f.Wait()
+	if err != nil || v != "hello" {
+		t.Fatalf("got %v, %v", v, err)
+	}
+}
+
+func TestEngineMinWorkers(t *testing.T) {
+	e := NewEngine(0) // clamped to 1
+	f := Submit(e, "x", nil, func() (int, error) { return 1, nil })
+	if v, _ := f.Wait(); v != 1 {
+		t.Fatal("engine with clamped workers broken")
+	}
+	_ = e.Wait()
+}

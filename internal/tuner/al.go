@@ -1,0 +1,81 @@
+package tuner
+
+import (
+	"math/rand/v2"
+)
+
+// ALOptions configures batch active learning.
+type ALOptions struct {
+	// InitFrac is the fraction of the budget spent on initial random
+	// samples.
+	InitFrac float64
+	// Iterations is the number of refinement batches after the initial
+	// random phase.
+	Iterations int
+}
+
+// DefaultALOptions mirrors the usual batch-AL setup of [6, 29].
+func DefaultALOptions() ALOptions { return ALOptions{InitFrac: 0.3, Iterations: 5} }
+
+// AL is batch active learning (§7.3): an initial random batch trains the
+// surrogate, then each iteration measures the surrogate's current top
+// predictions and retrains.
+type AL struct {
+	Opts ALOptions
+}
+
+// NewAL returns AL with default options.
+func NewAL() *AL { return &AL{Opts: DefaultALOptions()} }
+
+// Name returns the algorithm name.
+func (*AL) Name() string { return "AL" }
+
+// Tune implements Algorithm.
+func (a *AL) Tune(p *Problem, budget int) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	opts := a.Opts
+	if opts.Iterations <= 0 {
+		opts = DefaultALOptions()
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, saltAL))
+	tracker := newPoolTracker(p)
+
+	m0 := int(opts.InitFrac*float64(budget) + 0.5)
+	if m0 < 2 {
+		m0 = 2
+	}
+	if m0 > budget {
+		m0 = budget
+	}
+	samples, err := measureBatch(p, tracker.takeRandom(m0, rng))
+	if err != nil {
+		return nil, err
+	}
+	model := newSurrogate(p)
+	if err := model.Train(samples); err != nil {
+		return nil, err
+	}
+
+	remaining := budget - len(samples)
+	for i := 0; i < opts.Iterations && remaining > 0 && tracker.left() > 0; i++ {
+		batch := remaining / (opts.Iterations - i)
+		if batch < 1 {
+			batch = 1
+		}
+		cfgs := tracker.takeTop(batch, model.Predict)
+		newSamples, err := measureBatch(p, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, newSamples...)
+		remaining -= len(newSamples)
+		if err := model.Train(samples); err != nil {
+			return nil, err
+		}
+	}
+	res := finish(p, model.PredictPool(p.Pool), samples, nil, -1)
+	res.Importance = model.Importance(len(p.features(p.Pool[0])))
+	return res, nil
+}

@@ -1,0 +1,118 @@
+package tuner
+
+import (
+	"math/rand/v2"
+
+	"ceal/internal/cfgspace"
+)
+
+// ALpHOptions configures ALpH's active-learning loop.
+type ALpHOptions struct {
+	InitFrac   float64
+	Iterations int
+	// ComponentFrac is the budget share for standalone component runs when
+	// no history exists (as for CEAL).
+	ComponentFrac float64
+}
+
+// DefaultALpHOptions mirrors the AL defaults.
+func DefaultALpHOptions() ALpHOptions {
+	return ALpHOptions{InitFrac: 0.3, Iterations: 5, ComponentFrac: 0.5}
+}
+
+// ALpH is the black-box component-combining variant of §4: instead of
+// folding component predictions with an analytical function, it learns the
+// combining model M'_0 from training tuples {c, {v_j}, v} — configuration
+// features extended with the component models' predictions — and runs
+// batch active learning over that model. It is CEAL's ablation for the
+// white-box combination choice (§7.5).
+type ALpH struct {
+	Opts ALpHOptions
+}
+
+// NewALpH returns ALpH with default options.
+func NewALpH() *ALpH { return &ALpH{Opts: DefaultALpHOptions()} }
+
+// Name returns the algorithm name.
+func (*ALpH) Name() string { return "ALpH" }
+
+// Tune implements Algorithm.
+func (a *ALpH) Tune(p *Problem, budget int) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	opts := a.Opts
+	if opts.Iterations <= 0 {
+		opts = DefaultALpHOptions()
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, saltALpH))
+
+	mR := 0
+	if !p.hasHistory() {
+		mR = int(opts.ComponentFrac*float64(budget) + 0.5)
+		if mR >= budget {
+			mR = budget - 2
+		}
+		if mR < 0 {
+			mR = 0
+		}
+	}
+	cm, err := trainComponentModels(p, mR, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// M'_0's features: raw configuration plus each component model's
+	// prediction for its sub-configuration.
+	feats := func(cfg cfgspace.Config) []float64 {
+		x := p.features(cfg)
+		for _, part := range cm.lowFi.Parts {
+			var sub []float64
+			if part.Extract != nil {
+				sub = part.Extract(cfg)
+			}
+			x = append(x, part.Predictor.Predict(sub))
+		}
+		return x
+	}
+	model := newFeatureSurrogate(feats, p.surrogateParams())
+
+	workBudget := budget - mR
+	tracker := newPoolTracker(p)
+	m0 := int(opts.InitFrac*float64(workBudget) + 0.5)
+	if m0 < 2 {
+		m0 = 2
+	}
+	if m0 > workBudget {
+		m0 = workBudget
+	}
+	samples, err := measureBatch(p, tracker.takeRandom(m0, rng))
+	if err != nil {
+		return nil, err
+	}
+	if err := model.Train(samples); err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < opts.Iterations; i++ {
+		remaining := workBudget - len(samples)
+		if remaining <= 0 || tracker.left() == 0 {
+			break
+		}
+		batchSize := remaining / (opts.Iterations - i)
+		if batchSize < 1 {
+			batchSize = 1
+		}
+		batch, err := measureBatch(p, tracker.takeTop(batchSize, model.Predict))
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, batch...)
+		if err := model.Train(samples); err != nil {
+			return nil, err
+		}
+	}
+	res := finish(p, model.PredictPool(p.Pool), samples, cm.newSamples, -1)
+	res.Importance = model.Importance(len(feats(p.Pool[0])))
+	return res, nil
+}

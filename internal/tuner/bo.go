@@ -1,0 +1,134 @@
+package tuner
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"ceal/internal/cfgspace"
+	"ceal/internal/ml/forest"
+)
+
+// BOOptions configures the Bayesian-optimization extension.
+type BOOptions struct {
+	InitFrac   float64 // fraction of budget on initial random samples
+	Iterations int     // acquisition batches
+	Forest     forest.Params
+}
+
+// DefaultBOOptions returns sensible small-budget settings.
+func DefaultBOOptions() BOOptions {
+	return BOOptions{InitFrac: 0.3, Iterations: 5, Forest: forest.DefaultParams()}
+}
+
+// BO is the §9 future-work extension implemented as an ablation: batch
+// Bayesian optimization with a bagged-forest surrogate and the
+// expected-improvement acquisition (in log space), naturally tolerant of
+// measurement noise.
+type BO struct {
+	Opts BOOptions
+}
+
+// NewBO returns BO with default options.
+func NewBO() *BO { return &BO{Opts: DefaultBOOptions()} }
+
+// Name returns the algorithm name.
+func (*BO) Name() string { return "BO" }
+
+// Tune implements Algorithm.
+func (b *BO) Tune(p *Problem, budget int) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	opts := b.Opts
+	if opts.Iterations <= 0 {
+		opts = DefaultBOOptions()
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, saltBO))
+	tracker := newPoolTracker(p)
+
+	m0 := int(opts.InitFrac*float64(budget) + 0.5)
+	if m0 < 2 {
+		m0 = 2
+	}
+	if m0 > budget {
+		m0 = budget
+	}
+	samples, err := measureBatch(p, tracker.takeRandom(m0, rng))
+	if err != nil {
+		return nil, err
+	}
+
+	fit := func() (*forest.Forest, float64, error) {
+		X := make([][]float64, len(samples))
+		y := make([]float64, len(samples))
+		bestLog := math.Inf(1)
+		for i, s := range samples {
+			X[i] = p.features(s.Cfg)
+			y[i] = logTarget(s.Value)
+			if y[i] < bestLog {
+				bestLog = y[i]
+			}
+		}
+		params := opts.Forest
+		params.Seed = p.Seed ^ uint64(len(samples))
+		f, err := forest.Fit(X, y, params)
+		return f, bestLog, err
+	}
+
+	f, bestLog, err := fit()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < opts.Iterations; i++ {
+		remaining := budget - len(samples)
+		if remaining <= 0 || tracker.left() == 0 {
+			break
+		}
+		batchSize := remaining / (opts.Iterations - i)
+		if batchSize < 1 {
+			batchSize = 1
+		}
+		// Acquire by negative EI so takeTop (which minimizes) picks the
+		// highest expected improvement.
+		acq := func(cfg cfgspace.Config) float64 {
+			mean, std := f.PredictWithStd(p.features(cfg))
+			return -expectedImprovement(bestLog, mean, std)
+		}
+		batch, err := measureBatch(p, tracker.takeTop(batchSize, acq))
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, batch...)
+		if f, bestLog, err = fit(); err != nil {
+			return nil, err
+		}
+	}
+
+	scores := make([]float64, len(p.Pool))
+	for i, cfg := range p.Pool {
+		mean, _ := f.PredictWithStd(p.features(cfg))
+		scores[i] = unlogTarget(mean)
+	}
+	return finish(p, scores, samples, nil, -1), nil
+}
+
+// expectedImprovement is the one-sided EI of a minimization problem under a
+// Gaussian posterior (computed in log-target space).
+func expectedImprovement(best, mean, std float64) float64 {
+	if std <= 1e-12 {
+		if mean < best {
+			return best - mean
+		}
+		return 0
+	}
+	z := (best - mean) / std
+	return (best-mean)*stdNormCDF(z) + std*stdNormPDF(z)
+}
+
+func stdNormPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+func stdNormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

@@ -1,0 +1,241 @@
+package tuner
+
+import (
+	"math/rand/v2"
+
+	"ceal/internal/cfgspace"
+	"ceal/internal/metrics"
+)
+
+// CEALOptions are Algorithm 1's hyper-parameters, expressed as budget
+// fractions (§6, §7.6).
+type CEALOptions struct {
+	// Iterations is I, the number of refinement iterations.
+	Iterations int
+	// RandomFrac is m0/m, the cap on random workflow samples.
+	RandomFrac float64
+	// ComponentFrac is mR/m, the budget share spent measuring components
+	// standalone. Ignored (treated as 0) when the problem has full
+	// historical component measurements.
+	ComponentFrac float64
+	// DisableSwitch keeps evaluating configurations with the low-fidelity
+	// model for the whole run (ablation of the model-switch detector).
+	DisableSwitch bool
+	// DisableBiasEscape turns off the dynamic random-sample top-up of
+	// Alg. 1 lines 20–22 (ablation).
+	DisableBiasEscape bool
+}
+
+// DefaultCEALOptions returns settings tuned on this repository's simulated
+// substrate, following the paper's guidance (§6: m0 ≈ 15% of m without
+// histories, ≈ 35% with; mR between 25% and 75% of m) and its practice of
+// selecting the best hyper-parameters per algorithm (§7.3).
+func DefaultCEALOptions(hasHistory bool) CEALOptions {
+	if hasHistory {
+		return CEALOptions{Iterations: 3, RandomFrac: 0.35, ComponentFrac: 0}
+	}
+	return CEALOptions{Iterations: 8, RandomFrac: 0.15, ComponentFrac: 0.3}
+}
+
+// CEAL is Component-based Ensemble Active Learning (Algorithm 1): Phase 1
+// builds per-component models and combines them into the white-box
+// low-fidelity model; Phase 2 trains the boosted-tree high-fidelity model
+// on configurations ranked mostly by whichever of the two models the
+// switch detector currently trusts.
+type CEAL struct {
+	Opts *CEALOptions // nil = defaults chosen per problem
+}
+
+// NewCEAL returns CEAL with per-problem default options.
+func NewCEAL() *CEAL { return &CEAL{} }
+
+// Name returns the algorithm name.
+func (*CEAL) Name() string { return "CEAL" }
+
+// Tune implements Algorithm 1. The budget m covers workflow runs and (when
+// no history exists) the mR standalone component runs, which the paper
+// charges as mR workflow-run equivalents (§6).
+func (c *CEAL) Tune(p *Problem, budget int) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	useHistory := p.hasHistory()
+	opts := DefaultCEALOptions(useHistory)
+	if c.Opts != nil {
+		opts = *c.Opts
+	}
+	if opts.Iterations < 1 {
+		opts.Iterations = 1
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, saltCEAL))
+
+	// Budget split (Alg. 1 line 8): mR to components, m0 reserved for
+	// random workflow samples, the rest to I batches of top picks.
+	mR := 0
+	if !useHistory {
+		mR = int(opts.ComponentFrac*float64(budget) + 0.5)
+		if mR >= budget {
+			mR = budget - 2
+		}
+		if mR < 0 {
+			mR = 0
+		}
+	}
+	m0 := int(opts.RandomFrac*float64(budget) + 0.5)
+	if m0 < 2 {
+		m0 = 2
+	}
+	if m0 > budget-mR {
+		m0 = budget - mR
+	}
+	workBudget := budget - mR // workflow runs available
+	I := opts.Iterations
+
+	// Phase 1: component models -> low-fidelity model M_L (lines 1–6).
+	cm, err := trainComponentModels(p, mR, rng)
+	if err != nil {
+		return nil, err
+	}
+	lowFi := cm.lowFi
+
+	// Phase 2 (lines 7–27).
+	tracker := newPoolTracker(p)
+	m0used := m0 / 2
+	if m0used < 1 {
+		m0used = 1
+	}
+	pending := tracker.takeRandom(m0used, rng) // line 7
+
+	mB := (workBudget - m0) / I // line 8
+	if mB < 1 {
+		mB = 1
+	}
+	pending = append(pending, tracker.takeTop(capBatch(mB, workBudget, len(pending), 0), lowFi.Score)...) // lines 9–10
+
+	high := newSurrogate(p) // M_H, line 12
+	usingHigh := false      // M = M_L, line 11
+	switchIter := -1
+	var measured []Sample
+
+	// holdout accumulates samples the current M_H has NOT been trained on;
+	// the switch detector compares the two models out-of-sample (otherwise
+	// M_H, evaluated on its own training data, would win trivially).
+	var holdout []Sample
+	const minHoldout = 3
+
+	for i := 1; i <= I; i++ { // line 13
+		batch, err := measureBatch(p, pending) // line 14
+		if err != nil {
+			return nil, err
+		}
+		measured = append(measured, batch...)
+		pending = nil // line 15
+
+		if !usingHigh && high.Trained() { // lines 16–24
+			holdout = append(holdout, batch...)
+			if len(holdout) >= minHoldout {
+				truth := make([]float64, len(holdout))
+				highScores := make([]float64, len(holdout))
+				lowScores := make([]float64, len(holdout))
+				for k, s := range holdout {
+					truth[k] = s.Value
+					highScores[k] = high.Predict(s.Cfg)
+					lowScores[k] = lowFi.Score(s.Cfg)
+				}
+				sH := metrics.RecallSum(highScores, truth) // line 18
+				sL := metrics.RecallSum(lowScores, truth)  // line 19
+
+				// Bias escape (lines 20–22): if M_H's three favourite
+				// held-out configurations are not all within the
+				// better-performing half, the sampling so far is suspect —
+				// spend part of the random reserve.
+				if !opts.DisableBiasEscape && m0used < m0 && biased(highScores, truth) {
+					add := (m0 - m0used) / 2
+					if add > 0 && len(measured)+add <= workBudget {
+						pending = append(pending, tracker.takeRandom(add, rng)...)
+						m0used += add
+					}
+				}
+				if !opts.DisableSwitch && sH >= sL { // lines 23–24
+					usingHigh = true
+					switchIter = i - 1
+					if I > i {
+						mB += (m0 - m0used) / (I - i)
+					}
+				}
+				holdout = holdout[:0]
+			}
+		}
+
+		if err := high.Train(measured); err != nil { // line 25
+			return nil, err
+		}
+		if i == I {
+			break
+		}
+		score := lowFi.Score // line 26
+		if usingHigh {
+			score = high.Predict
+		}
+		want := mB
+		if i == I-1 {
+			// Final selection: flush whatever workflow budget remains
+			// (integer division of mB would otherwise strand runs).
+			want = workBudget
+		}
+		room := capBatch(want, workBudget, len(measured), len(pending))
+		pending = append(pending, tracker.takeTop(room, score)...) // line 27
+		if len(pending) == 0 {
+			break // budget exhausted
+		}
+	}
+
+	res := finish(p, high.PredictPool(p.Pool), measured, cm.newSamples, switchIter)
+	res.Importance = high.Importance(len(p.features(p.Pool[0])))
+	return res, nil
+}
+
+// capBatch limits a batch to the workflow-run budget still available.
+func capBatch(want, budget, used, queued int) int {
+	room := budget - used - queued
+	if want > room {
+		want = room
+	}
+	if want < 0 {
+		want = 0
+	}
+	return want
+}
+
+// biased reports whether the high-fidelity model's top-3 measured
+// configurations fail to all sit in the better half of the measured truth
+// (Alg. 1 line 20).
+func biased(highScores, truth []float64) bool {
+	top3 := metrics.TopIndices(3, highScores)
+	half := metrics.TopIndices((len(truth)+1)/2, truth)
+	inHalf := make(map[int]bool, len(half))
+	for _, i := range half {
+		inHalf[i] = true
+	}
+	for _, i := range top3 {
+		if !inHalf[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// LowFidelityScores exposes the Phase-1 white-box model scores over a set
+// of configurations without running Phase 2 — used by the Fig. 4
+// experiment and the combiner ablation.
+func LowFidelityScores(p *Problem, mR int, cfgs []cfgspace.Config) ([]float64, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, saltCEAL))
+	cm, err := trainComponentModels(p, mR, rng)
+	if err != nil {
+		return nil, err
+	}
+	return cm.lowFi.ScoreBatch(cfgs), nil
+}

@@ -1,0 +1,132 @@
+package tuner
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"ceal/internal/acm"
+	"ceal/internal/cfgspace"
+	"ceal/internal/emews"
+	"ceal/internal/ml/xgb"
+)
+
+// componentModels is Phase 1 of the bootstrapping method (Alg. 1, lines
+// 1–6): per-component performance models plus the white-box low-fidelity
+// combination.
+type componentModels struct {
+	lowFi *acm.LowFidelity
+	// newSamples are the standalone runs measured here (historical data
+	// are free and not included), per component.
+	newSamples [][]Sample
+}
+
+// trainComponentModels builds each component's model from mR fresh solo
+// runs plus any historical measurements, and combines them with the
+// problem's combiner. Unconfigurable components get a constant predictor
+// from one (free) solo measurement.
+func trainComponentModels(p *Problem, mR int, rng *rand.Rand) (*componentModels, error) {
+	parts := make([]acm.Part, len(p.Components))
+	newSamples := make([][]Sample, len(p.Components))
+	dims := p.dims()
+	for j, comp := range p.Components {
+		j := j
+		if comp.Space == nil {
+			v, err := p.Eval.MeasureComponent(j, nil)
+			if err != nil {
+				return nil, fmt.Errorf("tuner: measure fixed component %s: %w", comp.Name, err)
+			}
+			part := acm.Part{Name: comp.Name, Predictor: acm.ConstPredictor(v)}
+			if comp.Cores != nil {
+				part.Cores = func(cfgspace.Config) float64 { return comp.Cores(nil) }
+			}
+			parts[j] = part
+			continue
+		}
+
+		var samples []Sample
+		if len(p.History) == len(p.Components) {
+			samples = append(samples, p.History[j]...)
+		}
+		if mR > 0 {
+			cfgs := sampleComponentConfigs(p, j, comp.Space, mR, rng)
+			tasks := make([]emews.Task, len(cfgs))
+			for i, cfg := range cfgs {
+				cfg := cfg
+				tasks[i] = func(int) (float64, error) { return p.Eval.MeasureComponent(j, cfg) }
+			}
+			vals, err := p.runner().RunAll(tasks)
+			if err != nil {
+				return nil, fmt.Errorf("tuner: measure component %s: %w", comp.Name, err)
+			}
+			for i := range cfgs {
+				s := Sample{Cfg: cfgs[i], Value: vals[i]}
+				samples = append(samples, s)
+				newSamples[j] = append(newSamples[j], s)
+			}
+		}
+		if len(samples) == 0 {
+			return nil, fmt.Errorf("tuner: component %s has no measurements (mR=0 and no history)", comp.Name)
+		}
+
+		model, err := fitComponentModel(comp, samples, p.surrogateParams())
+		if err != nil {
+			return nil, fmt.Errorf("tuner: fit component model %s: %w", comp.Name, err)
+		}
+		sub := func(cfg cfgspace.Config) []float64 {
+			return comp.features(cfgspace.Slice(cfg, dims, j))
+		}
+		part := acm.Part{Name: comp.Name, Predictor: model, Extract: sub}
+		if comp.Cores != nil {
+			comp := comp
+			part.Cores = func(cfg cfgspace.Config) float64 {
+				return comp.Cores(cfgspace.Slice(cfg, dims, j))
+			}
+		}
+		parts[j] = part
+	}
+	return &componentModels{
+		lowFi:      &acm.LowFidelity{Combine: p.Combiner, Parts: parts},
+		newSamples: newSamples,
+	}, nil
+}
+
+// sampleComponentConfigs draws mR distinct component configurations, from
+// the component candidate pool when one is provided, else from the space.
+func sampleComponentConfigs(p *Problem, j int, space *cfgspace.Space, mR int, rng *rand.Rand) []cfgspace.Config {
+	if len(p.ComponentPool) == len(p.Components) && len(p.ComponentPool[j]) > 0 {
+		pool := p.ComponentPool[j]
+		if mR > len(pool) {
+			mR = len(pool)
+		}
+		idx := rng.Perm(len(pool))[:mR]
+		out := make([]cfgspace.Config, mR)
+		for i, k := range idx {
+			out[i] = pool[k]
+		}
+		return out
+	}
+	return space.SampleN(rng, mR)
+}
+
+// componentModel adapts a log-target boosted tree to acm.Predictor.
+type componentModel struct {
+	model *xgb.Model
+}
+
+func (c componentModel) Predict(x []float64) float64 {
+	return unlogTarget(c.model.Predict(x))
+}
+
+func fitComponentModel(comp ComponentInfo, samples []Sample, params xgb.Params) (acm.Predictor, error) {
+	X := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		X[i] = comp.features(s.Cfg)
+		y[i] = logTarget(s.Value)
+	}
+	m, err := xgb.Fit(X, y, params)
+	if err != nil {
+		return nil, err
+	}
+	return componentModel{model: m}, nil
+}

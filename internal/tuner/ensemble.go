@@ -1,0 +1,328 @@
+package tuner
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"ceal/internal/cfgspace"
+	"ceal/internal/metrics"
+	"ceal/internal/ml/forest"
+	"ceal/internal/ml/knn"
+	"ceal/internal/ml/linear"
+)
+
+// The paper's §8.2 discusses Didona et al.'s three white+black ensemble
+// strategies and argues they fit in-situ workflow auto-tuning worse than
+// bootstrapping. HyBoost and KNNSelect implement two of them as runnable
+// ablations against CEAL.
+
+// HyBoostOptions configures the residual-boosting ensemble.
+type HyBoostOptions struct {
+	InitFrac      float64
+	Iterations    int
+	ComponentFrac float64 // budget share for component runs without history
+}
+
+// DefaultHyBoostOptions mirrors the AL loop shape.
+func DefaultHyBoostOptions() HyBoostOptions {
+	return HyBoostOptions{InitFrac: 0.3, Iterations: 5, ComponentFrac: 0.5}
+}
+
+// HyBoost combines the analytical model with ML by learning the AM's
+// residual errors (§8.2): prediction = ACM(c) corrected by a boosted-tree
+// model of log(y/ACM(c)). Sample selection is active learning over the
+// combined model.
+type HyBoost struct {
+	Opts HyBoostOptions
+}
+
+// NewHyBoost returns HyBoost with default options.
+func NewHyBoost() *HyBoost { return &HyBoost{Opts: DefaultHyBoostOptions()} }
+
+// Name returns the algorithm name.
+func (*HyBoost) Name() string { return "HyBoost" }
+
+// Tune implements Algorithm.
+func (hb *HyBoost) Tune(p *Problem, budget int) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	opts := hb.Opts
+	if opts.Iterations <= 0 {
+		opts = DefaultHyBoostOptions()
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, saltENS))
+
+	mR := 0
+	if !p.hasHistory() {
+		mR = int(opts.ComponentFrac*float64(budget) + 0.5)
+		if mR >= budget {
+			mR = budget - 2
+		}
+		if mR < 0 {
+			mR = 0
+		}
+	}
+	cm, err := trainComponentModels(p, mR, rng)
+	if err != nil {
+		return nil, err
+	}
+	am := cm.lowFi
+
+	var corrector *Surrogate
+	predict := func(cfg cfgspace.Config) float64 {
+		base := am.Score(cfg)
+		if base < 1e-12 {
+			base = 1e-12
+		}
+		if corrector == nil || !corrector.Trained() {
+			return base
+		}
+		return base * corrector.Predict(cfg)
+	}
+	train := func(samples []Sample) error {
+		// Residuals in ratio space: y / ACM(c).
+		resid := make([]Sample, len(samples))
+		for i, s := range samples {
+			base := am.Score(s.Cfg)
+			if base < 1e-12 {
+				base = 1e-12
+			}
+			resid[i] = Sample{Cfg: s.Cfg, Value: s.Value / base}
+		}
+		if corrector == nil {
+			corrector = newSurrogate(p)
+		}
+		return corrector.Train(resid)
+	}
+
+	workBudget := budget - mR
+	tracker := newPoolTracker(p)
+	m0 := int(opts.InitFrac*float64(workBudget) + 0.5)
+	if m0 < 2 {
+		m0 = 2
+	}
+	if m0 > workBudget {
+		m0 = workBudget
+	}
+	samples, err := measureBatch(p, tracker.takeRandom(m0, rng))
+	if err != nil {
+		return nil, err
+	}
+	if err := train(samples); err != nil {
+		return nil, err
+	}
+	for i := 0; i < opts.Iterations; i++ {
+		remaining := workBudget - len(samples)
+		if remaining <= 0 || tracker.left() == 0 {
+			break
+		}
+		batchSize := remaining / (opts.Iterations - i)
+		if batchSize < 1 {
+			batchSize = 1
+		}
+		batch, err := measureBatch(p, tracker.takeTop(batchSize, predict))
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, batch...)
+		if err := train(samples); err != nil {
+			return nil, err
+		}
+	}
+	scores := make([]float64, len(p.Pool))
+	for i, cfg := range p.Pool {
+		scores[i] = predict(cfg)
+	}
+	return finish(p, scores, samples, cm.newSamples, -1), nil
+}
+
+// KNNSelectOptions configures the per-query model selector.
+type KNNSelectOptions struct {
+	InitFrac      float64
+	Iterations    int
+	ComponentFrac float64
+	K             int // neighbours used to score candidate models
+}
+
+// DefaultKNNSelectOptions mirrors Didona et al.'s KNN ensemble.
+func DefaultKNNSelectOptions() KNNSelectOptions {
+	return KNNSelectOptions{InitFrac: 0.3, Iterations: 5, ComponentFrac: 0.5, K: 5}
+}
+
+// KNNSelect is the Didona-style ensemble (§8.2): the measured samples are
+// evenly divided into a training and a test half; an analytical model plus
+// several ML regressors trained on the training half are candidates, and
+// for each query configuration the model with the lowest error on the K
+// nearest *test* configurations makes the prediction.
+type KNNSelect struct {
+	Opts KNNSelectOptions
+}
+
+// NewKNNSelect returns KNNSelect with default options.
+func NewKNNSelect() *KNNSelect { return &KNNSelect{Opts: DefaultKNNSelectOptions()} }
+
+// Name returns the algorithm name.
+func (*KNNSelect) Name() string { return "KNNSelect" }
+
+// Tune implements Algorithm.
+func (ks *KNNSelect) Tune(p *Problem, budget int) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	opts := ks.Opts
+	if opts.Iterations <= 0 {
+		opts = DefaultKNNSelectOptions()
+	}
+	if opts.K < 1 {
+		opts.K = 5
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, saltENS^0x4b4e4e))
+
+	mR := 0
+	if !p.hasHistory() {
+		mR = int(opts.ComponentFrac*float64(budget) + 0.5)
+		if mR >= budget {
+			mR = budget - 2
+		}
+		if mR < 0 {
+			mR = 0
+		}
+	}
+	cm, err := trainComponentModels(p, mR, rng)
+	if err != nil {
+		return nil, err
+	}
+	am := cm.lowFi
+
+	type candidate struct {
+		name    string
+		predict func(cfg cfgspace.Config) float64
+	}
+	var cands []candidate
+	var nn *knn.Regressor // neighbour finder over measured configs
+	var measured []Sample
+
+	var test []Sample // held-out half used to select among candidates
+	refit := func() error {
+		// Didona's even split: shuffle, half trains the candidates, half
+		// scores them per query (§8.2).
+		perm := rng.Perm(len(measured))
+		var train []Sample
+		test = test[:0]
+		for i, idx := range perm {
+			if i%2 == 0 || len(measured) < 4 {
+				train = append(train, measured[idx])
+			} else {
+				test = append(test, measured[idx])
+			}
+		}
+		if len(test) == 0 {
+			test = train
+		}
+		X := make([][]float64, len(train))
+		ylog := make([]float64, len(train))
+		Xn := make([][]float64, len(train))
+		y := make([]float64, len(train))
+		for i, s := range train {
+			X[i] = p.features(s.Cfg)
+			ylog[i] = logTarget(s.Value)
+			Xn[i] = p.Space.Normalized(s.Cfg)
+			y[i] = s.Value
+		}
+		// Neighbour finder over the TEST half.
+		Xt := make([][]float64, len(test))
+		yt := make([]float64, len(test))
+		for i, s := range test {
+			Xt[i] = p.Space.Normalized(s.Cfg)
+			yt[i] = s.Value
+		}
+		var err error
+		if nn, err = knn.Fit(Xt, yt, opts.K); err != nil {
+			return err
+		}
+		cands = []candidate{{name: "ACM", predict: am.Score}}
+
+		xgbSurr := newSurrogate(p)
+		if err := xgbSurr.Train(train); err != nil {
+			return err
+		}
+		cands = append(cands, candidate{name: "XGB", predict: xgbSurr.Predict})
+
+		fp := forest.DefaultParams()
+		fp.Seed = p.Seed
+		if fst, err := forest.Fit(X, ylog, fp); err == nil {
+			cands = append(cands, candidate{name: "RF", predict: func(cfg cfgspace.Config) float64 {
+				return unlogTarget(fst.Predict(p.features(cfg)))
+			}})
+		}
+		if rr, err := linear.FitRidge(X, ylog, 1.0); err == nil {
+			cands = append(cands, candidate{name: "Ridge", predict: func(cfg cfgspace.Config) float64 {
+				return unlogTarget(rr.Predict(p.features(cfg)))
+			}})
+		}
+		if kr, err := knn.Fit(Xn, y, opts.K); err == nil {
+			cands = append(cands, candidate{name: "KNN", predict: func(cfg cfgspace.Config) float64 {
+				return kr.Predict(p.Space.Normalized(cfg))
+			}})
+		}
+		return nil
+	}
+
+	predict := func(cfg cfgspace.Config) float64 {
+		nbrs := nn.Neighbors(p.Space.Normalized(cfg))
+		bestErr := math.Inf(1)
+		bestVal := 0.0
+		for _, cand := range cands {
+			errSum := 0.0
+			for _, idx := range nbrs {
+				errSum += metrics.APE(test[idx].Value, cand.predict(test[idx].Cfg))
+			}
+			if errSum < bestErr {
+				bestErr = errSum
+				bestVal = cand.predict(cfg)
+			}
+		}
+		return bestVal
+	}
+
+	workBudget := budget - mR
+	tracker := newPoolTracker(p)
+	m0 := int(opts.InitFrac*float64(workBudget) + 0.5)
+	if m0 < 2 {
+		m0 = 2
+	}
+	if m0 > workBudget {
+		m0 = workBudget
+	}
+	measured, err = measureBatch(p, tracker.takeRandom(m0, rng))
+	if err != nil {
+		return nil, err
+	}
+	if err := refit(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < opts.Iterations; i++ {
+		remaining := workBudget - len(measured)
+		if remaining <= 0 || tracker.left() == 0 {
+			break
+		}
+		batchSize := remaining / (opts.Iterations - i)
+		if batchSize < 1 {
+			batchSize = 1
+		}
+		batch, err := measureBatch(p, tracker.takeTop(batchSize, predict))
+		if err != nil {
+			return nil, err
+		}
+		measured = append(measured, batch...)
+		if err := refit(); err != nil {
+			return nil, err
+		}
+	}
+	scores := make([]float64, len(p.Pool))
+	for i, cfg := range p.Pool {
+		scores[i] = predict(cfg)
+	}
+	return finish(p, scores, measured, cm.newSamples, -1), nil
+}

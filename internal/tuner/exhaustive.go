@@ -1,0 +1,43 @@
+package tuner
+
+// Exhaustive measures every pool configuration, budget permitting — the
+// brute-force upper bound no practical in-situ tuner can afford (§2.3),
+// used to verify that the budgeted algorithms approach the true optimum
+// on small problems.
+type Exhaustive struct{}
+
+// Name returns the algorithm name.
+func (Exhaustive) Name() string { return "Exhaustive" }
+
+// Tune measures min(budget, |pool|) configurations in pool order.
+func (Exhaustive) Tune(p *Problem, budget int) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := budget
+	if n > len(p.Pool) {
+		n = len(p.Pool)
+	}
+	samples, err := measureBatch(p, p.Pool[:n])
+	if err != nil {
+		return nil, err
+	}
+	// The "model" is the measurements themselves; unmeasured pool entries
+	// (budget < |pool|) score as the worst observed value so recall
+	// metrics treat them as unknown-bad.
+	worst := 0.0
+	for _, s := range samples {
+		if s.Value > worst {
+			worst = s.Value
+		}
+	}
+	scores := make([]float64, len(p.Pool))
+	for i := range scores {
+		if i < n {
+			scores[i] = samples[i].Value
+		} else {
+			scores[i] = worst
+		}
+	}
+	return finish(p, scores, samples, nil, -1), nil
+}

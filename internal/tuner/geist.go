@@ -1,0 +1,222 @@
+package tuner
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"ceal/internal/cfgspace"
+	"ceal/internal/metrics"
+)
+
+// GEISTOptions configures the graph-guided sampler.
+type GEISTOptions struct {
+	InitFrac    float64 // fraction of budget on initial random samples
+	Iterations  int     // refinement batches
+	Neighbors   int     // k of the parameter graph
+	TopQuantile float64 // "optimal" label threshold (paper: top 5%)
+	ExploreFrac float64 // fraction of each batch chosen at random
+	Sweeps      int     // label-propagation sweeps
+}
+
+// DefaultGEISTOptions follows Thiagarajan et al. [50] as described in §7.3.
+func DefaultGEISTOptions() GEISTOptions {
+	return GEISTOptions{
+		InitFrac:    0.3,
+		Iterations:  5,
+		Neighbors:   8,
+		TopQuantile: 0.05,
+		ExploreFrac: 0.1,
+		Sweeps:      20,
+	}
+}
+
+// GEIST is the state-of-the-art comparison algorithm (§7.3): semi-
+// supervised label propagation over a parameter graph identifies unmeasured
+// configurations likely to be in the top 5%, which are measured next. The
+// final surrogate is the same boosted-tree model trained on all
+// measurements.
+type GEIST struct {
+	Opts GEISTOptions
+}
+
+// NewGEIST returns GEIST with default options.
+func NewGEIST() *GEIST { return &GEIST{Opts: DefaultGEISTOptions()} }
+
+// Name returns the algorithm name.
+func (*GEIST) Name() string { return "GEIST" }
+
+// Tune implements Algorithm.
+func (g *GEIST) Tune(p *Problem, budget int) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	opts := g.Opts
+	if opts.Iterations <= 0 {
+		opts = DefaultGEISTOptions()
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, saltGEIST))
+	graph := p.parameterGraph(opts.Neighbors)
+
+	measured := make(map[int]float64) // pool index -> measured value
+	unmeasured := make(map[int]bool, len(p.Pool))
+	for i := range p.Pool {
+		unmeasured[i] = true
+	}
+	var samples []Sample
+
+	measureIdxs := func(idxs []int) error {
+		var fresh []int
+		for _, i := range idxs {
+			if unmeasured[i] {
+				fresh = append(fresh, i)
+			}
+		}
+		if len(fresh) == 0 {
+			return nil
+		}
+		cfgs := make([]cfgspace.Config, len(fresh))
+		for i, idx := range fresh {
+			cfgs[i] = p.Pool[idx]
+		}
+		batch, err := measureBatch(p, cfgs)
+		if err != nil {
+			return err
+		}
+		for i, idx := range fresh {
+			measured[idx] = batch[i].Value
+			delete(unmeasured, idx)
+		}
+		samples = append(samples, batch...)
+		return nil
+	}
+
+	m0 := int(opts.InitFrac*float64(budget) + 0.5)
+	if m0 < 2 {
+		m0 = 2
+	}
+	if m0 > budget {
+		m0 = budget
+	}
+	if err := measureIdxs(randomUnmeasured(m0, len(p.Pool), unmeasured, rng)); err != nil {
+		return nil, err
+	}
+
+	for it := 0; it < opts.Iterations && len(unmeasured) > 0; it++ {
+		remaining := budget - len(measured)
+		if remaining <= 0 {
+			break
+		}
+		batchSize := remaining / (opts.Iterations - it)
+		if batchSize < 1 {
+			batchSize = 1
+		}
+		scores := propagateLabels(graph, measured, len(p.Pool), opts, rng)
+		nExplore := int(float64(batchSize)*opts.ExploreFrac + 0.5)
+		nExploit := batchSize - nExplore
+
+		// Exploit: highest propagated probability of being in the top 5%.
+		order := make([]int, 0, len(unmeasured))
+		for i := range unmeasured {
+			order = append(order, i)
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if scores[order[a]] != scores[order[b]] {
+				return scores[order[a]] > scores[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		if nExploit > len(order) {
+			nExploit = len(order)
+		}
+		if err := measureIdxs(order[:nExploit]); err != nil {
+			return nil, err
+		}
+		if nExplore > 0 {
+			if err := measureIdxs(randomUnmeasured(nExplore, len(p.Pool), unmeasured, rng)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	model := newSurrogate(p)
+	if err := model.Train(samples); err != nil {
+		return nil, err
+	}
+	res := finish(p, model.PredictPool(p.Pool), samples, nil, -1)
+	res.Importance = model.Importance(len(p.features(p.Pool[0])))
+	return res, nil
+}
+
+// randomUnmeasured draws up to n distinct unmeasured pool indices.
+func randomUnmeasured(n, poolSize int, unmeasured map[int]bool, rng *rand.Rand) []int {
+	if n > len(unmeasured) {
+		n = len(unmeasured)
+	}
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for len(out) < n {
+		i := rng.IntN(poolSize)
+		if unmeasured[i] && !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// propagateLabels runs damped label propagation on the parameter graph:
+// measured nodes are clamped to 1 if within the top quantile of measured
+// values (else 0); unmeasured nodes relax toward their neighbours' average.
+func propagateLabels(graph [][]int, measured map[int]float64, n int, opts GEISTOptions, rng *rand.Rand) []float64 {
+	vals := make([]float64, 0, len(measured))
+	for _, v := range measured {
+		vals = append(vals, v)
+	}
+	k := int(float64(len(vals))*opts.TopQuantile + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	topIdx := metrics.TopIndices(k, vals)
+	threshold := vals[topIdx[len(topIdx)-1]]
+
+	label := make([]float64, n)
+	clamped := make([]bool, n)
+	for i := range label {
+		label[i] = 0.5
+	}
+	for i, v := range measured {
+		clamped[i] = true
+		if v <= threshold {
+			label[i] = 1
+		} else {
+			label[i] = 0
+		}
+	}
+	next := make([]float64, n)
+	for sweep := 0; sweep < opts.Sweeps; sweep++ {
+		for i := 0; i < n; i++ {
+			if clamped[i] {
+				next[i] = label[i]
+				continue
+			}
+			sum, cnt := 0.0, 0
+			for _, nb := range graph[i] {
+				sum += label[nb]
+				cnt++
+			}
+			if cnt == 0 {
+				next[i] = label[i]
+				continue
+			}
+			next[i] = 0.15*label[i] + 0.85*sum/float64(cnt)
+		}
+		label, next = next, label
+	}
+	// Tiny deterministic jitter breaks large plateaus of equal scores.
+	for i := range label {
+		if !clamped[i] {
+			label[i] += rng.Float64() * 1e-9
+		}
+	}
+	return label
+}

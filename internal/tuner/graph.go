@@ -1,0 +1,77 @@
+package tuner
+
+import (
+	"sync"
+
+	"ceal/internal/cfgspace"
+)
+
+// graphCache shares built parameter graphs across Problems over the same
+// pool (experiment batteries create one Problem per replication but reuse
+// the pool slice). Keyed by the pool's backing array identity, its length,
+// and k; safe for concurrent replications.
+var graphCache sync.Map // graphKey -> [][]int
+
+type graphKey struct {
+	pool *cfgspace.Config
+	n    int
+	k    int
+}
+
+// parameterGraph builds (or fetches from the shared cache) the k-nearest-
+// neighbour graph over the pool in normalized parameter space — GEIST's
+// "parameter graph".
+func (p *Problem) parameterGraph(k int) [][]int {
+	n := len(p.Pool)
+	if k > n-1 {
+		k = n - 1
+	}
+	key := graphKey{pool: &p.Pool[0], n: n, k: k}
+	if g, ok := graphCache.Load(key); ok {
+		return g.([][]int)
+	}
+	feats := make([][]float64, n)
+	for i, cfg := range p.Pool {
+		feats[i] = p.Space.Normalized(cfg)
+	}
+	graph := make([][]int, n)
+	dist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dist[j] = sqDist(feats[i], feats[j])
+		}
+		dist[i] = 1e18 // exclude self
+		graph[i] = smallestK(dist, k)
+	}
+	graphCache.Store(key, graph)
+	return graph
+}
+
+// smallestK returns the indices of the k smallest values via partial
+// selection (deterministic tie-break by index).
+func smallestK(vals []float64, k int) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			vb, vj := vals[idx[best]], vals[idx[j]]
+			if vj < vb || (vj == vb && idx[j] < idx[best]) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return append([]int(nil), idx[:k]...)
+}
+
+func sqDist(a, b []float64) float64 {
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}

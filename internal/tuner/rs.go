@@ -1,0 +1,46 @@
+package tuner
+
+import (
+	"math/rand/v2"
+)
+
+// RS is the random-sampling baseline (§7.3): the whole budget is spent on
+// uniformly chosen pool configurations, then one surrogate is trained on
+// them.
+type RS struct{}
+
+// Name returns the algorithm name.
+func (RS) Name() string { return "RS" }
+
+// Tune implements Algorithm.
+func (RS) Tune(p *Problem, budget int) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(p.Seed, saltRS))
+	tracker := newPoolTracker(p)
+	cfgs := tracker.takeRandom(budget, rng)
+	samples, err := measureBatch(p, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	model := newSurrogate(p)
+	if err := model.Train(samples); err != nil {
+		return nil, err
+	}
+	res := finish(p, model.PredictPool(p.Pool), samples, nil, -1)
+	res.Importance = model.Importance(len(p.features(p.Pool[0])))
+	return res, nil
+}
+
+// Distinct salts decorrelate the algorithms' random streams from one
+// another while keeping each fully reproducible from Problem.Seed.
+const (
+	saltRS    = 0x52535253
+	saltAL    = 0x414c414c
+	saltGEIST = 0x47454953
+	saltCEAL  = 0x4345414c
+	saltALpH  = 0x414c7048
+	saltBO    = 0x424f424f
+	saltENS   = 0x454e5345
+)

@@ -1,0 +1,89 @@
+package tuner
+
+import (
+	"fmt"
+	"math"
+
+	"ceal/internal/cfgspace"
+	"ceal/internal/ml/xgb"
+)
+
+// Surrogate is the high-fidelity workflow model M_H: a boosted-tree
+// regressor over configuration features. Targets are strictly positive
+// times, so training happens in log space — trees then optimize relative
+// error, which is what ranking good configurations needs.
+type Surrogate struct {
+	feats  func(cfgspace.Config) []float64
+	params xgb.Params
+	model  *xgb.Model
+}
+
+// newSurrogate builds an untrained surrogate over the problem's workflow
+// features.
+func newSurrogate(p *Problem) *Surrogate {
+	return &Surrogate{feats: p.features, params: p.surrogateParams()}
+}
+
+// newFeatureSurrogate builds a surrogate over a custom featurizer (used by
+// ALpH to append component-model predictions to the features).
+func newFeatureSurrogate(feats func(cfgspace.Config) []float64, params xgb.Params) *Surrogate {
+	return &Surrogate{feats: feats, params: params}
+}
+
+// Trained reports whether Train has succeeded at least once.
+func (s *Surrogate) Trained() bool { return s.model != nil }
+
+// Train (re)fits the surrogate on the samples.
+func (s *Surrogate) Train(samples []Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("tuner: cannot train surrogate on zero samples")
+	}
+	X := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, smp := range samples {
+		X[i] = s.feats(smp.Cfg)
+		y[i] = logTarget(smp.Value)
+	}
+	m, err := xgb.Fit(X, y, s.params)
+	if err != nil {
+		return err
+	}
+	s.model = m
+	return nil
+}
+
+// Predict returns the surrogate's metric prediction for cfg.
+func (s *Surrogate) Predict(cfg cfgspace.Config) float64 {
+	if s.model == nil {
+		panic("tuner: Predict on untrained surrogate")
+	}
+	return unlogTarget(s.model.Predict(s.feats(cfg)))
+}
+
+// Importance returns the trained model's gain-based feature importance
+// over dim features (normalized; nil if untrained).
+func (s *Surrogate) Importance(dim int) []float64 {
+	if s.model == nil {
+		return nil
+	}
+	return s.model.FeatureImportance(dim)
+}
+
+// PredictPool predicts for every pool configuration.
+func (s *Surrogate) PredictPool(pool []cfgspace.Config) []float64 {
+	out := make([]float64, len(pool))
+	for i, cfg := range pool {
+		out[i] = s.Predict(cfg)
+	}
+	return out
+}
+
+// logTarget maps a positive time to log space (guarding tiny values).
+func logTarget(v float64) float64 {
+	if v < 1e-12 {
+		v = 1e-12
+	}
+	return math.Log(v)
+}
+
+func unlogTarget(v float64) float64 { return math.Exp(v) }

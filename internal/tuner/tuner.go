@@ -1,0 +1,359 @@
+// Package tuner implements the paper's empirical model-based auto-tuning
+// framework (collector / modeler / searcher, §2.2) and its algorithms:
+//
+//   - RS    — random sampling (§7.3)
+//   - AL    — batch active learning (§7.3)
+//   - GEIST — parameter-graph-guided semi-supervised sampling (§7.3)
+//   - ALpH  — active learning over a learned component-combining model (§4)
+//   - CEAL  — Component-based Ensemble Active Learning, Algorithm 1
+//
+// plus the §8.2/§9 extensions (HyBoost- and KNN-style white+black
+// ensembles, Bayesian optimization).
+//
+// All algorithms optimize a minimization metric (execution time in seconds
+// or computer time in core-hours) over a finite sample pool C_pool drawn
+// from the workflow's configuration space (§5), under a data-collection
+// budget expressed in workflow-run equivalents.
+package tuner
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"ceal/internal/acm"
+	"ceal/internal/cfgspace"
+	"ceal/internal/emews"
+	"ceal/internal/ml/xgb"
+)
+
+// Evaluator measures configurations. Implementations may run the cluster
+// simulator directly or look measurements up in a pre-built ground truth.
+type Evaluator interface {
+	// MeasureWorkflow returns the optimization metric of one coupled
+	// workflow run at cfg (lower is better).
+	MeasureWorkflow(cfg cfgspace.Config) (float64, error)
+	// MeasureComponent returns the metric of one standalone run of
+	// component j at its sub-configuration cfg (nil for unconfigurable
+	// components).
+	MeasureComponent(j int, cfg cfgspace.Config) (float64, error)
+}
+
+// Sample is one measured configuration.
+type Sample struct {
+	Cfg   cfgspace.Config
+	Value float64
+}
+
+// ComponentInfo describes one component application of the workflow.
+type ComponentInfo struct {
+	Name string
+	// Space is the component's own parameter space; nil marks an
+	// unconfigurable component (modeled by a constant).
+	Space *cfgspace.Space
+	// Features optionally maps a sub-configuration to an enriched ML
+	// feature vector (nil = the raw parameter values).
+	Features func(cfgspace.Config) []float64
+	// Cores returns the cores the component reserves at a
+	// sub-configuration (nil for unconfigurable components). Required when
+	// the problem's combiner is acm.BottleneckSum.
+	Cores func(cfgspace.Config) float64
+}
+
+func (c ComponentInfo) features(cfg cfgspace.Config) []float64 {
+	if c.Features != nil {
+		return c.Features(cfg)
+	}
+	return c.Space.Features(cfg)
+}
+
+// Problem is a fully specified auto-tuning task.
+type Problem struct {
+	Name       string
+	Space      *cfgspace.Space // the workflow configuration space
+	Components []ComponentInfo
+	Pool       []cfgspace.Config // C_pool: candidate configurations
+	Eval       Evaluator
+	// Combiner is the white-box combining function matching the metric
+	// (acm.Max for execution time, acm.Sum for computer time).
+	Combiner acm.Combiner
+	// History holds per-component historical solo measurements D_hist
+	// (index-aligned with Components); empty slices mean none.
+	History [][]Sample
+	// ComponentPool optionally restricts fresh standalone component runs
+	// to pre-selected candidate configurations per component (the paper
+	// measures 500 random component configurations, §7.1, from which CEAL
+	// may select its training samples). Empty means sample the component's
+	// space directly.
+	ComponentPool [][]cfgspace.Config
+	// Features optionally maps a workflow configuration to an enriched ML
+	// feature vector shared by all surrogates (nil = raw parameters).
+	Features func(cfgspace.Config) []float64
+	// FeatureNames optionally labels the feature vector (diagnostics).
+	FeatureNames []string
+	// Surrogate configures the boosted-tree surrogate; zero value means
+	// xgb.DefaultParams.
+	Surrogate xgb.Params
+	// Runner executes measurement batches; nil means a serial runner.
+	Runner *emews.Runner
+	// Seed drives all of the algorithm's random choices.
+	Seed uint64
+}
+
+func (p *Problem) surrogateParams() xgb.Params {
+	if p.Surrogate.Rounds == 0 {
+		return xgb.DefaultParams()
+	}
+	return p.Surrogate
+}
+
+// features returns the workflow feature vector for ML models.
+func (p *Problem) features(cfg cfgspace.Config) []float64 {
+	if p.Features != nil {
+		return p.Features(cfg)
+	}
+	return p.Space.Features(cfg)
+}
+
+func (p *Problem) runner() *emews.Runner {
+	if p.Runner == nil {
+		return emews.DefaultRunner()
+	}
+	return p.Runner
+}
+
+// dims returns each component's parameter count.
+func (p *Problem) dims() []int {
+	dims := make([]int, len(p.Components))
+	for i, c := range p.Components {
+		if c.Space != nil {
+			dims[i] = c.Space.Dim()
+		}
+	}
+	return dims
+}
+
+// sub extracts component j's sub-configuration.
+func (p *Problem) sub(cfg cfgspace.Config, j int) cfgspace.Config {
+	return cfgspace.Slice(cfg, p.dims(), j)
+}
+
+// hasHistory reports whether every configurable component has historical
+// measurements.
+func (p *Problem) hasHistory() bool {
+	if len(p.History) != len(p.Components) {
+		return false
+	}
+	for j, c := range p.Components {
+		if c.Space != nil && len(p.History[j]) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// validate checks the problem is runnable.
+func (p *Problem) validate() error {
+	if p.Space == nil || len(p.Pool) == 0 || p.Eval == nil {
+		return fmt.Errorf("tuner: problem %q needs a space, a pool, and an evaluator", p.Name)
+	}
+	sum := 0
+	for _, d := range p.dims() {
+		sum += d
+	}
+	if sum != p.Space.Dim() {
+		return fmt.Errorf("tuner: component dims sum to %d but workflow space has %d", sum, p.Space.Dim())
+	}
+	if p.Combiner == acm.BottleneckSum {
+		for _, c := range p.Components {
+			if c.Cores == nil {
+				return fmt.Errorf("tuner: combiner %v requires Cores on component %s", p.Combiner, c.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Result is an auto-tuning outcome.
+type Result struct {
+	// Best is the searcher's output: the pool configuration with the best
+	// final-model prediction.
+	Best cfgspace.Config
+	// PoolScores holds the final model's prediction for every pool
+	// configuration (aligned with Problem.Pool) — the basis for the
+	// recall-score and MdAPE evaluations.
+	PoolScores []float64
+	// Samples are the measured workflow configurations (training data).
+	Samples []Sample
+	// ComponentSamples are newly measured standalone component runs
+	// (excluding free historical data), per component.
+	ComponentSamples [][]Sample
+	// CollectionCost is the total data-collection cost in metric units:
+	// the sum of measured workflow values plus measured component values
+	// (§7.2.3).
+	CollectionCost float64
+	// SwitchIteration records when CEAL switched from the low- to the
+	// high-fidelity model (0-based; -1 if it never switched or N/A).
+	SwitchIteration int
+	// Importance holds the final surrogate's gain-based feature
+	// importance over the problem's feature vector (nil for algorithms
+	// whose final model is not a single boosted-tree ensemble).
+	Importance []float64
+}
+
+// Algorithm is an auto-tuning algorithm under a workflow-runs budget.
+type Algorithm interface {
+	Name() string
+	// Tune spends up to budget workflow-run equivalents and returns the
+	// result. The budget covers both workflow runs and (for CEAL without
+	// histories) standalone component runs.
+	Tune(p *Problem, budget int) (*Result, error)
+}
+
+// measureBatch measures workflow configurations through the collector and
+// returns samples in submission order.
+func measureBatch(p *Problem, cfgs []cfgspace.Config) ([]Sample, error) {
+	tasks := make([]emews.Task, len(cfgs))
+	for i, cfg := range cfgs {
+		cfg := cfg
+		tasks[i] = func(int) (float64, error) { return p.Eval.MeasureWorkflow(cfg) }
+	}
+	vals, err := p.runner().RunAll(tasks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Sample, len(cfgs))
+	for i := range cfgs {
+		out[i] = Sample{Cfg: cfgs[i], Value: vals[i]}
+	}
+	return out, nil
+}
+
+// finish assembles a Result from the final model scores over the pool.
+//
+// The searcher's recommendation is the measured configuration with the
+// best observed performance. The surrogate's role is to steer which
+// configurations get measured (and it is evaluated separately through
+// PoolScores); trusting an unverified model minimum instead would let a
+// tree ensemble's extrapolation artifacts — compounded leaf corrections
+// can score an unseen configuration below every training point — recommend
+// configurations no evidence supports, which a fixed measurement budget
+// cannot re-verify.
+func finish(p *Problem, scores []float64, samples []Sample, compSamples [][]Sample, switchIter int) *Result {
+	var best cfgspace.Config
+	bestVal := math.Inf(1)
+	for _, s := range samples {
+		if s.Value < bestVal {
+			bestVal = s.Value
+			best = s.Cfg
+		}
+	}
+	if best == nil {
+		// No workflow measurements (degenerate budget): fall back to the
+		// model's pool minimum.
+		idx := 0
+		for i, s := range scores {
+			if s < scores[idx] {
+				idx = i
+			}
+		}
+		best = p.Pool[idx]
+	}
+	cost := 0.0
+	for _, s := range samples {
+		cost += s.Value
+	}
+	for _, cs := range compSamples {
+		for _, s := range cs {
+			cost += s.Value
+		}
+	}
+	return &Result{
+		Best:             best.Clone(),
+		PoolScores:       scores,
+		Samples:          samples,
+		ComponentSamples: compSamples,
+		CollectionCost:   cost,
+		SwitchIteration:  switchIter,
+	}
+}
+
+// poolTracker manages the not-yet-measured portion of the pool.
+type poolTracker struct {
+	p         *Problem
+	remaining []int // indices into p.Pool
+}
+
+func newPoolTracker(p *Problem) *poolTracker {
+	idx := make([]int, len(p.Pool))
+	for i := range idx {
+		idx[i] = i
+	}
+	return &poolTracker{p: p, remaining: idx}
+}
+
+// takeRandom removes up to n random configurations and returns them.
+func (t *poolTracker) takeRandom(n int, rng *rand.Rand) []cfgspace.Config {
+	if n > len(t.remaining) {
+		n = len(t.remaining)
+	}
+	out := make([]cfgspace.Config, 0, n)
+	for i := 0; i < n; i++ {
+		k := rng.IntN(len(t.remaining))
+		out = append(out, t.p.Pool[t.remaining[k]])
+		t.remaining[k] = t.remaining[len(t.remaining)-1]
+		t.remaining = t.remaining[:len(t.remaining)-1]
+	}
+	return out
+}
+
+// takeTop removes the n remaining configurations with the best (lowest)
+// scores under score and returns them.
+func (t *poolTracker) takeTop(n int, score func(cfgspace.Config) float64) []cfgspace.Config {
+	if n > len(t.remaining) {
+		n = len(t.remaining)
+	}
+	if n <= 0 {
+		return nil
+	}
+	type scored struct {
+		pos int // position in remaining
+		val float64
+	}
+	ss := make([]scored, len(t.remaining))
+	for i, idx := range t.remaining {
+		ss[i] = scored{pos: i, val: score(t.p.Pool[idx])}
+	}
+	// Partial selection of the n best.
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < len(ss); j++ {
+			if ss[j].val < ss[best].val {
+				best = j
+			}
+		}
+		ss[i], ss[best] = ss[best], ss[i]
+	}
+	out := make([]cfgspace.Config, n)
+	kill := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = t.p.Pool[t.remaining[ss[i].pos]]
+		kill[i] = ss[i].pos
+	}
+	// Remove taken positions (descending to keep indices valid).
+	for i := range kill {
+		for j := i + 1; j < len(kill); j++ {
+			if kill[j] > kill[i] {
+				kill[i], kill[j] = kill[j], kill[i]
+			}
+		}
+	}
+	for _, pos := range kill {
+		t.remaining[pos] = t.remaining[len(t.remaining)-1]
+		t.remaining = t.remaining[:len(t.remaining)-1]
+	}
+	return out
+}
+
+// left returns how many configurations remain.
+func (t *poolTracker) left() int { return len(t.remaining) }

@@ -1,0 +1,103 @@
+package workflow
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"ceal/internal/cfgspace"
+	"ceal/internal/cluster"
+)
+
+func TestByName(t *testing.T) {
+	m := cluster.Default()
+	for _, name := range []string{"LV", "HS", "GP"} {
+		b, err := ByName(m, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name != name {
+			t.Fatalf("ByName(%s).Name = %s", name, b.Name)
+		}
+	}
+	if _, err := ByName(m, "nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestComponentFeaturesEnriched(t *testing.T) {
+	m := cluster.Default()
+	b := LV(m)
+	sub := cfgspace.Config{561, 25, 1}
+	f := b.Components[0].Features(m, sub)
+	// raw params + [nodes, procs*threads, reserved cores]
+	if len(f) != 6 {
+		t.Fatalf("feature length = %d, want 6", len(f))
+	}
+	if f[0] != 561 || f[1] != 25 || f[2] != 1 {
+		t.Fatalf("raw features wrong: %v", f)
+	}
+	if f[3] != 23 { // ceil(561/25)
+		t.Fatalf("node feature = %v, want 23", f[3])
+	}
+	if f[4] != 561 {
+		t.Fatalf("active-threads feature = %v, want 561", f[4])
+	}
+	if f[5] != 23*36 {
+		t.Fatalf("reserved-cores feature = %v, want %d", f[5], 23*36)
+	}
+}
+
+func TestWorkflowFeaturesTotalNodes(t *testing.T) {
+	m := cluster.Default()
+	for _, b := range Benchmarks(m) {
+		rng := rand.New(rand.NewPCG(3, 3))
+		for i := 0; i < 20; i++ {
+			cfg := b.Space.Sample(rng)
+			f := b.Features(cfg)
+			w, err := b.Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := f[len(f)-1]; got != float64(w.TotalNodes()) {
+				t.Fatalf("%s: total-nodes feature %v, workflow has %d nodes (cfg %v)",
+					b.Name, got, w.TotalNodes(), cfg)
+			}
+		}
+	}
+}
+
+func TestMeasureSoloNoise(t *testing.T) {
+	m := cluster.Default()
+	b := LV(m)
+	cs := b.Components[0]
+	cfg := cfgspace.Config{128, 32, 1}
+	clean, err := MeasureSolo(m, cs.BuildSolo(cfg), cs.InBytesPerStep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := MeasureSolo(m, cs.BuildSolo(cfg), cs.InBytesPerStep, rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.ExecTime == noisy.ExecTime {
+		t.Fatal("solo noise missing")
+	}
+	if r := noisy.ExecTime / clean.ExecTime; r < 0.7 || r > 1.3 {
+		t.Fatalf("solo noise ratio %v implausible", r)
+	}
+}
+
+func TestGPFeaturesCountFixedComponents(t *testing.T) {
+	m := cluster.Default()
+	b := GP(m)
+	cfg := cfgspace.Config{66, 34, 41, 22}
+	f := b.Features(cfg)
+	// grayscott (2 raw + 3 derived) + pdf (2 raw + 3 derived) + total nodes.
+	if len(f) != 11 {
+		t.Fatalf("GP feature length = %d, want 11", len(f))
+	}
+	// total = gs nodes (2) + pdf nodes (2) + two serial plotters (1 + 1).
+	if f[10] != 6 {
+		t.Fatalf("GP total nodes feature = %v, want 6", f[10])
+	}
+}

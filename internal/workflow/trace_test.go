@@ -1,0 +1,103 @@
+package workflow
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ceal/internal/cfgspace"
+	"ceal/internal/cluster"
+)
+
+func TestTracedMatchesUntraced(t *testing.T) {
+	m := cluster.Default()
+	b := LV(m)
+	w, err := b.Build(cfgspace.Config{288, 18, 2, 288, 18, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := w.RunInSitu()
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, trace, err := w.RunInSituTraced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ExecTime != traced.ExecTime || plain.CompTime != traced.CompTime || plain.EnergyKJ != traced.EnergyKJ {
+		t.Fatalf("traced measurement %+v differs from plain %+v", traced, plain)
+	}
+	if trace.Makespan != traced.ExecTime {
+		t.Fatalf("trace makespan %v != exec %v", trace.Makespan, traced.ExecTime)
+	}
+}
+
+func TestTracePhasesSumToWallTime(t *testing.T) {
+	m := cluster.Default()
+	b := HS(m)
+	w, err := b.Build(cfgspace.Config{13, 17, 14, 8, 10, 19, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, trace, err := w.RunInSituTraced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, ct := range trace.Components {
+		if len(ct.Steps) != w.Components[ci].Steps {
+			t.Fatalf("%s: %d step traces, want %d", ct.Name, len(ct.Steps), w.Components[ci].Steps)
+		}
+		wait, compute, output := ct.Totals()
+		total := wait + compute + output
+		if math.Abs(total-meas.PerComponent[ci]) > 1e-6*meas.PerComponent[ci]+1e-9 {
+			t.Fatalf("%s: phases sum to %v, wall time is %v", ct.Name, total, meas.PerComponent[ci])
+		}
+		for _, s := range ct.Steps {
+			if s.Wait < 0 || s.Compute < 0 || s.Output < 0 {
+				t.Fatalf("%s step %d: negative phase %+v", ct.Name, s.Step, s)
+			}
+		}
+	}
+}
+
+func TestTraceShowsBottleneckWaiting(t *testing.T) {
+	// With a tiny Voro++, LAMMPS spends most of its time blocked emitting
+	// (backpressure) and Voro++ barely waits.
+	m := cluster.Default()
+	b := LV(m)
+	w, err := b.Build(cfgspace.Config{112, 28, 1, 2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trace, err := w.RunInSituTraced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, lc, lo := trace.Components[0].Totals()
+	if lo < lc {
+		t.Fatalf("backpressured producer should stall on output: wait %v compute %v output %v", lw, lc, lo)
+	}
+	vw, vc, _ := trace.Components[1].Totals()
+	if vw > vc {
+		t.Fatalf("bottleneck consumer should not wait much: wait %v compute %v", vw, vc)
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	m := cluster.Default()
+	b := GP(m)
+	w, err := b.Build(cfgspace.Config{66, 34, 41, 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trace, err := w.RunInSituTraced()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.String()
+	for _, want := range []string{"makespan", "grayscott", "pdfcalc", "gplot", "pplot", "wait", "compute"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("trace rendering missing %q:\n%s", want, s)
+		}
+	}
+}
