@@ -12,11 +12,14 @@ package ceal
 // Results and paper-vs-measured comparisons are recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"math/rand/v2"
 	"strconv"
 	"sync"
 	"testing"
 
+	"ceal/internal/collector"
+	"ceal/internal/emews"
 	"ceal/internal/metrics"
 	"ceal/internal/ml/xgb"
 	"ceal/internal/paperexp"
@@ -315,6 +318,44 @@ func BenchmarkTuneAlgorithms(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCollectorCache contrasts the collector's cold path (fresh
+// simulations through the worker pool) with its warm path (memoized
+// lookups) on the LV live evaluator.
+func BenchmarkCollectorCache(b *testing.B) {
+	m := DefaultMachine()
+	bench := BenchmarkLV(m)
+	eval := &LiveEvaluator{Bench: bench, Obj: CompTime, Seed: 1}
+	batch := bench.Space.SampleN(rand.New(rand.NewPCG(1, 2)), 64)
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A fresh collector per iteration: every config is a miss.
+			c := collector.New(eval, &emews.Runner{Workers: 8, MaxRetries: 3})
+			if _, err := c.MeasureWorkflows(ctx, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		c := collector.New(eval, &emews.Runner{Workers: 8, MaxRetries: 3})
+		if _, err := c.MeasureWorkflows(ctx, batch); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.MeasureWorkflows(ctx, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := c.Stats()
+		b.ReportMetric(float64(st.Hits)/float64(b.N), "hits/op")
+	})
 }
 
 func BenchmarkLiveEvaluator(b *testing.B) {

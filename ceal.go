@@ -36,6 +36,7 @@ import (
 	"ceal/internal/apps"
 	"ceal/internal/cfgspace"
 	"ceal/internal/cluster"
+	"ceal/internal/collector"
 	"ceal/internal/paperexp"
 	"ceal/internal/tuner"
 	"ceal/internal/workflow"
@@ -80,6 +81,16 @@ type (
 	ComponentSpec = workflow.ComponentSpec
 	// NamedSpace pairs a component name with its space for ConcatSpaces.
 	NamedSpace = cfgspace.NamedSpace
+	// Collector is the unified measurement layer every algorithm measures
+	// through: a caching, deduplicating batch front-end over an Evaluator
+	// and a worker pool. Obtain a problem's collector with
+	// Problem.Collector(); inspect cache behaviour with Collector.Stats().
+	Collector = collector.Collector
+	// Stats is a snapshot of a Collector's hit/miss/retry counters.
+	Stats = collector.Stats
+	// Evaluator measures configurations (implemented by LiveEvaluator and
+	// the experiment harness's ground-truth lookup).
+	Evaluator = collector.Evaluator
 )
 
 // Space construction helpers for custom workflows.
@@ -227,8 +238,10 @@ func (e *LiveEvaluator) noise(kind string, cfg Config) *rand.Rand {
 
 // NewProblem assembles a live auto-tuning problem over a benchmark: a
 // candidate pool of poolSize random valid configurations, evaluated by
-// running the simulator on demand. Use GroundTruth/Experiments for the
-// paper's pre-measured evaluation methodology instead.
+// running the simulator on demand through the problem's caching Collector
+// (set Problem.Runner for parallel measurement, Problem.Ctx for
+// cancellation). Use GroundTruth/Experiments for the paper's pre-measured
+// evaluation methodology instead.
 func NewProblem(b *Benchmark, obj Objective, poolSize int, seed uint64) *Problem {
 	rng := rand.New(rand.NewPCG(seed, 0xcea1))
 	comps := make([]tuner.ComponentInfo, len(b.Components))

@@ -6,9 +6,11 @@
 //
 //	ceal-tune -workflow LV -objective comp -budget 50
 //	ceal-tune -workflow HS -objective exec -algorithm al -budget 100
+//	ceal-tune -workflow GP -budget 50 -workers 8 -timeout 2m
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +19,7 @@ import (
 	"time"
 
 	"ceal"
+	"ceal/internal/emews"
 )
 
 func main() {
@@ -27,8 +30,17 @@ func main() {
 		budget  = flag.Int("budget", 50, "measurement budget in workflow-run equivalents")
 		pool    = flag.Int("pool", 2000, "candidate pool size")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 1, "parallel measurement width")
+		timeout = flag.Duration("timeout", 0, "abort tuning after this long (0: no limit)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	m := ceal.DefaultMachine()
 	b, err := ceal.BenchmarkByName(m, strings.ToUpper(*wfName))
@@ -46,9 +58,11 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("tuning %s for %s with %s (budget %d runs, pool %d)\n",
-		b.Name, obj, alg.Name(), *budget, *pool)
+	fmt.Printf("tuning %s for %s with %s (budget %d runs, pool %d, %d workers)\n",
+		b.Name, obj, alg.Name(), *budget, *pool, *workers)
 	problem := ceal.NewProblem(b, obj, *pool, *seed)
+	problem.Runner = &emews.Runner{Workers: *workers, MaxRetries: 3}
+	problem.Ctx = ctx
 	start := time.Now()
 	res, err := alg.Tune(problem, *budget)
 	if err != nil {
@@ -56,15 +70,14 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	eval := &ceal.LiveEvaluator{Bench: b, Obj: obj, Seed: *seed}
-	tuned, err := eval.MeasureWorkflow(res.Best)
+	// Verify the recommendation and the expert config through the problem's
+	// collector: res.Best was already measured during tuning, so it comes
+	// back as a cache hit rather than a fresh simulation.
+	verify, err := problem.Collector().MeasureWorkflows(ctx, []ceal.Config{res.Best, expert})
 	if err != nil {
 		fatal(err)
 	}
-	expertVal, err := eval.MeasureWorkflow(expert)
-	if err != nil {
-		fatal(err)
-	}
+	tuned, expertVal := verify[0].Value, verify[1].Value
 
 	fmt.Printf("\nrecommended configuration %v\n", res.Best)
 	fmt.Printf("  measured %s: %.4g %s\n", obj, tuned, unit)
@@ -77,6 +90,7 @@ func main() {
 		fmt.Printf("  no improvement over the expert configuration\n")
 	}
 	fmt.Printf("  workflow samples measured: %d (tuner wall time %v)\n", len(res.Samples), elapsed.Round(time.Millisecond))
+	fmt.Printf("  collector: %s\n", problem.Collector().Stats())
 	if res.SwitchIteration >= 0 {
 		fmt.Printf("  CEAL switched to the high-fidelity model at iteration %d\n", res.SwitchIteration)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,10 +33,18 @@ func main() {
 		compN   = flag.Int("compsamples", 500, "solo runs per component (paper: 500)")
 		seed    = flag.Uint64("seed", 1, "base random seed")
 		workers = flag.Int("workers", 8, "parallel simulation and replication width")
+		timeout = flag.Duration("timeout", 0, "abort the run after this long (0: no limit)")
 		cache   = flag.String("cache", "", "directory for ground-truth caching (load if present, save after build)")
 		format  = flag.String("format", "text", "output format: text or csv")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		for _, e := range paperexp.All() {
@@ -61,9 +70,11 @@ func main() {
 			ComponentSamples: *compN,
 			Seed:             *seed,
 			Workers:          *workers,
+			Ctx:              ctx,
 		},
 		Reps: *reps,
 		Seed: *seed,
+		Ctx:  ctx,
 	}
 
 	// Build each needed ground truth once, shared across experiments.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -140,15 +141,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eval := &ceal.LiveEvaluator{Bench: bench, Obj: ceal.CompTime, Seed: 3}
-	tuned, err := eval.MeasureWorkflow(res.Best)
+	verify, err := problem.Collector().MeasureWorkflows(context.Background(),
+		[]ceal.Config{res.Best, bench.ExpertComp})
 	if err != nil {
 		log.Fatal(err)
 	}
-	guess, err := eval.MeasureWorkflow(bench.ExpertComp)
-	if err != nil {
-		log.Fatal(err)
-	}
+	tuned, guess := verify[0].Value, verify[1].Value
 	fmt.Printf("\nCEAL (40-run budget) recommends %v -> %.3f core-h\n", res.Best, tuned)
 	fmt.Printf("hand guess: %.3f core-h; improvement %.1f%%\n", guess, (1-tuned/guess)*100)
 }

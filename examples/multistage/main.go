@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,15 +60,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eval := &ceal.LiveEvaluator{Bench: bench, Obj: ceal.CompTime, Seed: 11}
-	tuned, err := eval.MeasureWorkflow(res.Best)
+	verify, err := problem.Collector().MeasureWorkflows(context.Background(),
+		[]ceal.Config{res.Best, bench.ExpertComp})
 	if err != nil {
 		log.Fatal(err)
 	}
-	expert, err := eval.MeasureWorkflow(bench.ExpertComp)
-	if err != nil {
-		log.Fatal(err)
-	}
+	tuned, expert := verify[0].Value, verify[1].Value
 	fmt.Printf("   tuned  %v -> %.3f core-h\n", res.Best, tuned)
 	fmt.Printf("   expert %v -> %.3f core-h\n", bench.ExpertComp, expert)
 	fmt.Println("   (the paper's Table 2 note: GP experts are hard to beat, since the")

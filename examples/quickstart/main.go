@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,15 +28,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	eval := &ceal.LiveEvaluator{Bench: bench, Obj: ceal.CompTime, Seed: 42}
-	tuned, err := eval.MeasureWorkflow(result.Best)
+	// Verify through the problem's caching collector: result.Best was
+	// measured during tuning, so it returns as a cache hit.
+	verify, err := problem.Collector().MeasureWorkflows(context.Background(),
+		[]ceal.Config{result.Best, bench.ExpertComp})
 	if err != nil {
 		log.Fatal(err)
 	}
-	expert, err := eval.MeasureWorkflow(bench.ExpertComp)
-	if err != nil {
-		log.Fatal(err)
-	}
+	tuned, expert := verify[0].Value, verify[1].Value
 
 	fmt.Printf("tuned configuration  %v -> %.3f core-hours\n", result.Best, tuned)
 	fmt.Printf("expert configuration %v -> %.3f core-hours\n", bench.ExpertComp, expert)

@@ -1,0 +1,321 @@
+// Package collector is the auto-tuner's unified measurement layer (the
+// "collector" of the paper's collector / modeler / searcher architecture,
+// §2.2). Every measurement the system performs — workflow runs inside the
+// tuning algorithms, standalone component runs, the experiment harness's
+// ground-truth builds — flows through a Collector, which owns an Evaluator
+// and an emews.Runner and adds the properties that used to be per-call-site
+// accidents:
+//
+//   - batch-first, context-aware APIs: batches are dispatched on the
+//     runner's worker pool and abort promptly when the context is
+//     cancelled;
+//   - an in-memory memoization cache keyed by Config.Key(), so repeated
+//     configurations (across iterations, algorithms, or replications that
+//     share a Problem) are never re-simulated;
+//   - single-flight deduplication: identical configurations requested
+//     concurrently are measured once, with all requesters sharing the
+//     result;
+//   - per-run hit / miss / retry / in-flight accounting exposed as a
+//     Stats snapshot.
+//
+// Measurements must be deterministic per key (as every Evaluator in this
+// repository is: noise is keyed to the configuration, never to wall-clock
+// or call order), which makes memoization semantically transparent —
+// results are byte-identical with or without the cache, at any worker
+// count.
+package collector
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ceal/internal/cfgspace"
+	"ceal/internal/emews"
+)
+
+// Evaluator measures configurations. Implementations may run the cluster
+// simulator directly or look measurements up in a pre-built ground truth.
+// Implementations must be safe for concurrent use and deterministic per
+// configuration (repeated calls with the same arguments return the same
+// value).
+type Evaluator interface {
+	// MeasureWorkflow returns the optimization metric of one coupled
+	// workflow run at cfg (lower is better).
+	MeasureWorkflow(cfg cfgspace.Config) (float64, error)
+	// MeasureComponent returns the metric of one standalone run of
+	// component j at its sub-configuration cfg (nil for unconfigurable
+	// components).
+	MeasureComponent(j int, cfg cfgspace.Config) (float64, error)
+}
+
+// Sample is one measured configuration.
+type Sample struct {
+	Cfg   cfgspace.Config
+	Value float64
+}
+
+// Stats is a point-in-time snapshot of a Collector's counters.
+type Stats struct {
+	// Hits counts measurements served from the memoization cache.
+	Hits uint64
+	// Misses counts fresh evaluations dispatched to the runner.
+	Misses uint64
+	// Coalesced counts requests folded into an identical measurement that
+	// was already in flight (single-flight deduplication).
+	Coalesced uint64
+	// Retries counts task relaunches performed by the runner after
+	// failures (injected or real).
+	Retries uint64
+	// Errors counts batches that failed (retries exhausted or context
+	// cancelled).
+	Errors uint64
+	// WorkflowRuns and ComponentRuns split Misses by measurement kind.
+	WorkflowRuns  uint64
+	ComponentRuns uint64
+	// InFlight is the number of distinct keys under measurement right now;
+	// InFlightPeak is the maximum that was ever concurrently in flight.
+	InFlight     int
+	InFlightPeak int
+}
+
+// String renders the snapshot as a one-line summary for CLIs and logs.
+func (s Stats) String() string {
+	total := s.Hits + s.Misses + s.Coalesced
+	rate := 0.0
+	if total > 0 {
+		rate = float64(s.Hits+s.Coalesced) / float64(total) * 100
+	}
+	return fmt.Sprintf("%d hits / %d misses / %d coalesced (%.0f%% reused), %d retries, %d errors, peak %d in flight",
+		s.Hits, s.Misses, s.Coalesced, rate, s.Retries, s.Errors, s.InFlightPeak)
+}
+
+// Collector owns an Evaluator and an emews.Runner and serves every
+// measurement request through one cache. The zero value is not usable;
+// construct with New.
+type Collector struct {
+	eval   Evaluator
+	runner *emews.Runner
+
+	mu           sync.Mutex
+	cache        map[string]any
+	inflight     map[string]*flight
+	inflightPeak int
+
+	hits, misses, coalesced atomic.Uint64
+	retries, errs           atomic.Uint64
+	workflowRuns, compRuns  atomic.Uint64
+}
+
+// flight is one in-progress measurement that concurrent requesters of the
+// same key wait on.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New returns a Collector over eval and runner. A nil runner means a
+// serial emews.DefaultRunner. eval may be nil when only the generic
+// RunKeyed API is used (the ground-truth builder's full-measurement path).
+func New(eval Evaluator, runner *emews.Runner) *Collector {
+	if runner == nil {
+		runner = emews.DefaultRunner()
+	}
+	return &Collector{
+		eval:     eval,
+		runner:   runner,
+		cache:    make(map[string]any),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Runner exposes the collector's runner (parallel width and retry policy).
+func (c *Collector) Runner() *emews.Runner { return c.runner }
+
+// Stats returns a snapshot of the collector's counters.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	inFlight := len(c.inflight)
+	peak := c.inflightPeak
+	c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Coalesced:     c.coalesced.Load(),
+		Retries:       c.retries.Load(),
+		Errors:        c.errs.Load(),
+		WorkflowRuns:  c.workflowRuns.Load(),
+		ComponentRuns: c.compRuns.Load(),
+		InFlight:      inFlight,
+		InFlightPeak:  peak,
+	}
+}
+
+// MeasureWorkflows measures workflow configurations and returns samples in
+// submission order. Cached configurations are served without dispatching;
+// duplicate configurations within the batch (or concurrently in flight
+// elsewhere) are measured once.
+func (c *Collector) MeasureWorkflows(ctx context.Context, cfgs []cfgspace.Config) ([]Sample, error) {
+	if c.eval == nil {
+		return nil, fmt.Errorf("collector: no evaluator wired")
+	}
+	keys := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		keys[i] = "w:" + cfg.Key()
+	}
+	vals, err := runKeyed(ctx, c, keys, &c.workflowRuns, func(i, _ int) (float64, error) {
+		return c.eval.MeasureWorkflow(cfgs[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Sample, len(cfgs))
+	for i := range cfgs {
+		out[i] = Sample{Cfg: cfgs[i], Value: vals[i]}
+	}
+	return out, nil
+}
+
+// MeasureComponents measures standalone runs of component j at each
+// sub-configuration (nil marks the unconfigurable-component solo run) and
+// returns samples in submission order, with the same caching and
+// deduplication as MeasureWorkflows.
+func (c *Collector) MeasureComponents(ctx context.Context, j int, cfgs []cfgspace.Config) ([]Sample, error) {
+	if c.eval == nil {
+		return nil, fmt.Errorf("collector: no evaluator wired")
+	}
+	keys := make([]string, len(cfgs))
+	for i, cfg := range cfgs {
+		if cfg == nil {
+			keys[i] = fmt.Sprintf("c%d:fixed", j)
+		} else {
+			keys[i] = fmt.Sprintf("c%d:%s", j, cfg.Key())
+		}
+	}
+	vals, err := runKeyed(ctx, c, keys, &c.compRuns, func(i, _ int) (float64, error) {
+		return c.eval.MeasureComponent(j, cfgs[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Sample, len(cfgs))
+	for i := range cfgs {
+		out[i] = Sample{Cfg: cfgs[i], Value: vals[i]}
+	}
+	return out, nil
+}
+
+// RunKeyed executes arbitrary keyed measurement jobs through the
+// collector's runner with the same memoization, single-flight
+// deduplication, retry and cancellation story as the scalar APIs. job is
+// invoked as job(i, attempt) for the i'th key; results are returned in
+// submission order. Callers choose the key namespace and must keep it
+// disjoint from the scalar APIs' ("w:", "c<j>:") and type-consistent per
+// key. The ground-truth builder uses this to collect full
+// workflow.Measurement values in one pass.
+func RunKeyed[T any](ctx context.Context, c *Collector, keys []string, job func(i, attempt int) (T, error)) ([]T, error) {
+	return runKeyed(ctx, c, keys, nil, job)
+}
+
+// runKeyed is the collector core: classify each key as cache hit, joinable
+// in-flight measurement, or fresh leader; run the leaders as one runner
+// batch; then join the waiters.
+func runKeyed[T any](ctx context.Context, c *Collector, keys []string, runs *atomic.Uint64, job func(i, attempt int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		c.errs.Add(1)
+		return nil, err
+	}
+	results := make([]T, len(keys))
+
+	type pending struct {
+		i   int
+		key string
+		fl  *flight
+	}
+	var leaders, waiters []pending
+
+	c.mu.Lock()
+	for i, k := range keys {
+		if v, ok := c.cache[k]; ok {
+			results[i] = v.(T)
+			c.hits.Add(1)
+			continue
+		}
+		if fl, ok := c.inflight[k]; ok {
+			// Either another goroutine or an earlier index of this very
+			// batch is already measuring this key.
+			waiters = append(waiters, pending{i: i, key: k, fl: fl})
+			c.coalesced.Add(1)
+			continue
+		}
+		fl := &flight{done: make(chan struct{})}
+		c.inflight[k] = fl
+		leaders = append(leaders, pending{i: i, key: k, fl: fl})
+		c.misses.Add(1)
+		if runs != nil {
+			runs.Add(1)
+		}
+	}
+	if len(c.inflight) > c.inflightPeak {
+		c.inflightPeak = len(c.inflight)
+	}
+	c.mu.Unlock()
+
+	var batchErr error
+	if len(leaders) > 0 {
+		tasks := make([]func(attempt int) (T, error), len(leaders))
+		for li := range leaders {
+			ld := leaders[li]
+			tasks[li] = func(attempt int) (T, error) {
+				if attempt > 0 {
+					c.retries.Add(1)
+				}
+				return job(ld.i, attempt)
+			}
+		}
+		vals, err := emews.Do(ctx, c.runner, tasks)
+		batchErr = err
+		c.mu.Lock()
+		for li, ld := range leaders {
+			if err == nil {
+				ld.fl.val = vals[li]
+				c.cache[ld.key] = vals[li]
+				results[ld.i] = vals[li]
+			} else {
+				ld.fl.err = err
+			}
+			delete(c.inflight, ld.key)
+			close(ld.fl.done)
+		}
+		c.mu.Unlock()
+	}
+
+	for _, w := range waiters {
+		select {
+		case <-w.fl.done:
+		case <-ctx.Done():
+			if batchErr == nil {
+				batchErr = ctx.Err()
+			}
+			c.errs.Add(1)
+			return nil, batchErr
+		}
+		if w.fl.err != nil {
+			if batchErr == nil {
+				batchErr = w.fl.err
+			}
+			continue
+		}
+		results[w.i] = w.fl.val.(T)
+	}
+	if batchErr != nil {
+		c.errs.Add(1)
+		return nil, batchErr
+	}
+	return results, nil
+}

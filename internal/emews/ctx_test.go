@@ -1,0 +1,110 @@
+package emews
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunAllCtxCancelStopsDispatch(t *testing.T) {
+	r := &Runner{Workers: 1, MaxRetries: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int32
+	tasks := make([]Task, 30)
+	for i := range tasks {
+		tasks[i] = func(int) (float64, error) {
+			if ran.Add(1) == 1 {
+				cancel()
+			}
+			return 1, nil
+		}
+	}
+	_, err := r.RunAllCtx(ctx, tasks)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= int32(len(tasks)) {
+		t.Fatalf("cancellation did not stop dispatch: %d/%d tasks ran", n, len(tasks))
+	}
+}
+
+func TestRunAllCtxPreCancelled(t *testing.T) {
+	r := &Runner{Workers: 4}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	tasks := []Task{func(int) (float64, error) { ran.Add(1); return 1, nil }}
+	if _, err := r.RunAllCtx(ctx, tasks); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunAllCtxNilIsBackground(t *testing.T) {
+	r := &Runner{Workers: 2}
+	got, err := Do(nil, r, []func(int) (float64, error){
+		func(int) (float64, error) { return 42, nil },
+	})
+	if err != nil || got[0] != 42 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestBackoffDelaysRetries(t *testing.T) {
+	r := &Runner{Workers: 1, MaxRetries: 2, Backoff: 20 * time.Millisecond}
+	var calls atomic.Int32
+	start := time.Now()
+	tasks := []Task{func(attempt int) (float64, error) {
+		if calls.Add(1) <= 2 {
+			return 0, fmt.Errorf("transient")
+		}
+		return 7, nil
+	}}
+	got, err := r.RunAll(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Fatalf("got %v", got[0])
+	}
+	// Two retries: 20ms + 40ms of backoff minimum.
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("retries not backed off: %v elapsed, want >= 60ms", elapsed)
+	}
+}
+
+func TestBackoffCappedAtMax(t *testing.T) {
+	r := &Runner{Backoff: 10 * time.Millisecond, BackoffMax: 15 * time.Millisecond}
+	start := time.Now()
+	// Attempt 5 would be 160ms uncapped; must be <= BackoffMax.
+	if err := r.backoff(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("backoff not capped: %v", elapsed)
+	}
+}
+
+func TestBackoffAbortsOnCancel(t *testing.T) {
+	r := &Runner{Workers: 1, MaxRetries: 3, Backoff: 10 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	tasks := []Task{func(int) (float64, error) { return 0, fmt.Errorf("always fails") }}
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.RunAllCtx(ctx, tasks)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the task fail and enter backoff
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not interrupt a 10s backoff sleep")
+	}
+}

@@ -1,15 +1,18 @@
-// Package emews is the auto-tuner's collector substrate, modeled on the
+// Package emews is the auto-tuner's measurement substrate, modeled on the
 // EMEWS/Swift-T harness the paper's system is built with (§7.1): it runs
 // batches of measurement tasks on a worker pool with job-level fault
 // tolerance — the role the paper's MPI_Comm_launch enhancement plays —
-// retrying tasks that fail, and returning results in submission order
-// regardless of completion order.
+// retrying tasks that fail (with bounded exponential backoff between
+// attempts), honouring context cancellation, and returning results in
+// submission order regardless of completion order.
 package emews
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync"
+	"time"
 )
 
 // Task is one measurement job; attempt counts retries from 0.
@@ -27,6 +30,12 @@ type Runner struct {
 	FailureRate float64
 	// Seed drives deterministic failure injection.
 	Seed uint64
+	// Backoff is the delay before the first retry of a failed task; each
+	// further retry doubles it, capped at BackoffMax. Zero (the default)
+	// retries immediately, which keeps deterministic tests instant.
+	Backoff time.Duration
+	// BackoffMax bounds the exponential growth; zero means 30s.
+	BackoffMax time.Duration
 }
 
 // DefaultRunner returns a serial runner with a few retries.
@@ -36,30 +45,66 @@ func DefaultRunner() *Runner { return &Runner{Workers: 1, MaxRetries: 3} }
 // Each task is retried up to MaxRetries times on error; if any task
 // exhausts its retries, RunAll returns the first such error.
 func (r *Runner) RunAll(tasks []Task) ([]float64, error) {
+	return r.RunAllCtx(context.Background(), tasks)
+}
+
+// RunAllCtx is RunAll under a context: once ctx is cancelled the runner
+// stops dispatching queued tasks, drains its workers, and returns
+// ctx.Err(). Tasks already executing run to completion (the simulator has
+// no preemption, mirroring how a cluster job outlives its submitting
+// script).
+func (r *Runner) RunAllCtx(ctx context.Context, tasks []Task) ([]float64, error) {
+	jobs := make([]func(attempt int) (float64, error), len(tasks))
+	for i, t := range tasks {
+		jobs[i] = t
+	}
+	return Do(ctx, r, jobs)
+}
+
+// Do runs a batch of generic jobs on r's worker pool under the same
+// retry, backoff, fault-injection and cancellation policy as RunAll
+// (which is Do specialized to scalar measurements). Results are returned
+// in submission order.
+func Do[T any](ctx context.Context, r *Runner, jobs []func(attempt int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := r.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	results := make([]float64, len(tasks))
-	errs := make([]error, len(tasks))
+	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
 
 	var wg sync.WaitGroup
-	jobs := make(chan int)
+	queue := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				results[i], errs[i] = r.runOne(i, tasks[i])
+			for i := range queue {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = runOne(ctx, r, i, jobs[i])
 			}
 		}()
 	}
-	for i := range tasks {
-		jobs <- i
+dispatch:
+	for i := range jobs {
+		select {
+		case queue <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
-	close(jobs)
+	close(queue)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("emews: task %d failed after %d retries: %w", i, r.MaxRetries, err)
@@ -68,10 +113,17 @@ func (r *Runner) RunAll(tasks []Task) ([]float64, error) {
 	return results, nil
 }
 
-// runOne executes a task with retries and (optional) fault injection.
-func (r *Runner) runOne(idx int, task Task) (float64, error) {
+// runOne executes a job with retries, backoff and (optional) deterministic
+// fault injection.
+func runOne[T any](ctx context.Context, r *Runner, idx int, job func(attempt int) (T, error)) (T, error) {
+	var zero T
 	var lastErr error
 	for attempt := 0; attempt <= r.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if err := r.backoff(ctx, attempt); err != nil {
+				return zero, err
+			}
+		}
 		if r.FailureRate > 0 {
 			// Deterministic per (seed, task, attempt) failure injection.
 			rng := rand.New(rand.NewPCG(r.Seed, uint64(idx)<<20|uint64(attempt)))
@@ -80,11 +132,38 @@ func (r *Runner) runOne(idx int, task Task) (float64, error) {
 				continue
 			}
 		}
-		v, err := task(attempt)
+		v, err := job(attempt)
 		if err == nil {
 			return v, nil
 		}
 		lastErr = err
 	}
-	return 0, lastErr
+	return zero, lastErr
+}
+
+// backoff waits the bounded exponential delay before retry attempt
+// (1-based), returning early with ctx.Err() on cancellation.
+func (r *Runner) backoff(ctx context.Context, attempt int) error {
+	if r.Backoff <= 0 {
+		return ctx.Err()
+	}
+	maxd := r.BackoffMax
+	if maxd <= 0 {
+		maxd = 30 * time.Second
+	}
+	d := r.Backoff
+	for i := 1; i < attempt && d < maxd; i++ {
+		d *= 2
+	}
+	if d > maxd {
+		d = maxd
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

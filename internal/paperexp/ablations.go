@@ -66,7 +66,7 @@ func runAblations(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 		stats, err := RunBattery(RunSpec{
 			GT: gt, Obj: CompTime, Budget: 50,
 			Algorithms: []tuner.Algorithm{&tuner.CEAL{Opts: &o}},
-			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers, Ctx: opt.Ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -86,7 +86,7 @@ func runAblations(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 	}
 	stats, err := RunBattery(RunSpec{
 		GT: gt, Obj: CompTime, Budget: 50, WithHistory: true,
-		Algorithms: algs, Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+		Algorithms: algs, Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers, Ctx: opt.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -106,7 +106,7 @@ func runAblations(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 	energyStats, err := RunBattery(RunSpec{
 		GT: gt, Obj: Energy, Budget: 25,
 		Algorithms: []tuner.Algorithm{tuner.RS{}, tuner.NewAL(), tuner.NewCEAL()},
-		Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+		Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers, Ctx: opt.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -127,7 +127,7 @@ func runAblations(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 	spStats, err := RunBattery(RunSpec{
 		GT: gt, Obj: CompTime, Budget: 50,
 		Algorithms: []tuner.Algorithm{tuner.RS{}, tuner.NewGEIST(), tuner.NewAL(), tuner.NewCEAL()},
-		Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+		Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers, Ctx: opt.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -146,7 +146,7 @@ func runAblations(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 	cealStats, err := RunBattery(RunSpec{
 		GT: gt, Obj: CompTime, Budget: 50,
 		Algorithms: []tuner.Algorithm{tuner.NewCEAL()},
-		Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+		Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers, Ctx: opt.Ctx,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package paperexp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -20,6 +21,9 @@ type RunSpec struct {
 	Reps        int    // replications to average (paper: 100)
 	Seed        uint64 // base seed; replication r uses Seed+r
 	Workers     int    // parallel replications (<= 1: serial)
+	// Ctx optionally cancels the battery: it is threaded into every
+	// replication's Problem, aborting in-progress measurement batches.
+	Ctx context.Context
 }
 
 // repMetrics are one algorithm's metrics from a single replication.
@@ -104,7 +108,13 @@ func RunBattery(spec RunSpec) ([]*AlgStats, error) {
 	top2 := metrics.TopIndices(top2n, truth)
 
 	runRep := func(rep int) ([]repMetrics, error) {
+		if spec.Ctx != nil {
+			if err := spec.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		problem := spec.GT.Problem(spec.Obj, spec.WithHistory, spec.Seed+uint64(rep))
+		problem.Ctx = spec.Ctx
 		out := make([]repMetrics, len(spec.Algorithms))
 		for i, alg := range spec.Algorithms {
 			res, err := alg.Tune(problem, spec.Budget)

@@ -1,6 +1,7 @@
 package paperexp
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -16,6 +17,9 @@ type Options struct {
 	Build BuildOptions
 	Reps  int
 	Seed  uint64
+	// Ctx optionally cancels the experiment; it is threaded into the
+	// ground-truth build and every battery replication.
+	Ctx context.Context
 }
 
 // DefaultOptions returns the paper-scale experiment settings (§7.1, §7.3).
@@ -213,7 +217,7 @@ func runFig5(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 		for _, m := range cell.Budgets {
 			stats, err := RunBattery(RunSpec{
 				GT: gts[cell.WF], Obj: cell.Obj, Budget: m,
-				Algorithms: noHistAlgorithms(), Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+				Algorithms: noHistAlgorithms(), Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers, Ctx: opt.Ctx,
 			})
 			if err != nil {
 				return nil, err
@@ -246,7 +250,7 @@ func runFig6(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 	for _, cell := range cells {
 		stats, err := RunBattery(RunSpec{
 			GT: gts[cell.WF], Obj: cell.Obj, Budget: cell.Budget,
-			Algorithms: noHistAlgorithms(), Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+			Algorithms: noHistAlgorithms(), Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers, Ctx: opt.Ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -280,7 +284,7 @@ func runFig7(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 	for _, panel := range panels {
 		stats, err := RunBattery(RunSpec{
 			GT: gts[panel.WF], Obj: panel.Obj, Budget: panel.Budget,
-			Algorithms: noHistAlgorithms(), Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+			Algorithms: noHistAlgorithms(), Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers, Ctx: opt.Ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -311,7 +315,7 @@ func runFig8(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 		stats, err := RunBattery(RunSpec{
 			GT: gts[wf], Obj: CompTime, Budget: 50,
 			Algorithms: []tuner.Algorithm{tuner.NewAL(), tuner.NewCEAL()},
-			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers, Ctx: opt.Ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -353,14 +357,14 @@ func runFig9(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 		for _, m := range cell.Budgets {
 			without, err := RunBattery(RunSpec{
 				GT: gts[cell.WF], Obj: cell.Obj, Budget: m,
-				Algorithms: []tuner.Algorithm{tuner.NewCEAL()}, Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+				Algorithms: []tuner.Algorithm{tuner.NewCEAL()}, Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers, Ctx: opt.Ctx,
 			})
 			if err != nil {
 				return nil, err
 			}
 			with, err := RunBattery(RunSpec{
 				GT: gts[cell.WF], Obj: cell.Obj, Budget: m, WithHistory: true,
-				Algorithms: []tuner.Algorithm{tuner.NewCEAL()}, Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+				Algorithms: []tuner.Algorithm{tuner.NewCEAL()}, Reps: opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers, Ctx: opt.Ctx,
 			})
 			if err != nil {
 				return nil, err
@@ -385,7 +389,7 @@ func runFig10(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 			stats, err := RunBattery(RunSpec{
 				GT: gts[cell.WF], Obj: cell.Obj, Budget: m, WithHistory: true,
 				Algorithms: []tuner.Algorithm{tuner.NewCEAL(), tuner.NewALpH()},
-				Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+				Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers, Ctx: opt.Ctx,
 			})
 			if err != nil {
 				return nil, err
@@ -416,7 +420,7 @@ func runFig11(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 		stats, err := RunBattery(RunSpec{
 			GT: gts[panel.WF], Obj: panel.Obj, Budget: panel.Budget, WithHistory: true,
 			Algorithms: []tuner.Algorithm{tuner.NewCEAL(), tuner.NewALpH()},
-			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers, Ctx: opt.Ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -448,7 +452,7 @@ func runFig12(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 		stats, err := RunBattery(RunSpec{
 			GT: gts[cell.WF], Obj: ExecTime, Budget: cell.Budget, WithHistory: true,
 			Algorithms: []tuner.Algorithm{tuner.NewCEAL(), tuner.NewALpH()},
-			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers, Ctx: opt.Ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -467,7 +471,7 @@ func runFig12(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 		stats, err := RunBattery(RunSpec{
 			GT: gts[cell.WF], Obj: CompTime, Budget: cell.Budget, WithHistory: true,
 			Algorithms: []tuner.Algorithm{tuner.NewCEAL(), tuner.NewALpH()},
-			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers, Ctx: opt.Ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -489,7 +493,7 @@ func runFig13(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 		stats, err := RunBattery(RunSpec{
 			GT: gt, Obj: CompTime, Budget: budget, WithHistory: withHist,
 			Algorithms: []tuner.Algorithm{&tuner.CEAL{Opts: &o}},
-			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers,
+			Reps:       opt.Reps, Seed: opt.Seed, Workers: opt.Build.Workers, Ctx: opt.Ctx,
 		})
 		if err != nil {
 			return 0, err

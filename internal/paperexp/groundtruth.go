@@ -5,10 +5,12 @@
 package paperexp
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
 	"ceal/internal/cfgspace"
+	"ceal/internal/collector"
 	"ceal/internal/emews"
 	"ceal/internal/metrics"
 	"ceal/internal/tuner"
@@ -135,6 +137,16 @@ type BuildOptions struct {
 	ComponentSamples int    // standalone runs per configurable component (paper: 500)
 	Seed             uint64 // drives sampling and measurement noise
 	Workers          int    // parallel simulation width (<=0: serial)
+	// Ctx optionally cancels the build mid-batch; nil means
+	// context.Background().
+	Ctx context.Context
+}
+
+func (o BuildOptions) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultBuildOptions returns the paper-scale settings.
@@ -162,37 +174,40 @@ func BuildGroundTruth(b *workflow.Benchmark, opt BuildOptions) (*GroundTruth, er
 		FixedEnergy: make([]float64, len(b.Components)),
 		poolIdx:     make(map[string]int, opt.PoolSize),
 	}
-	runner := &emews.Runner{Workers: opt.Workers, MaxRetries: 3}
+	// One collector serves the whole build: its RunKeyed API collects full
+	// workflow.Measurement values on the runner's worker pool, replacing the
+	// old per-batch closures that wrote side-channel slices from inside
+	// tasks. Keys are index-based — the noise streams below are keyed to the
+	// sample index, not the configuration, so a repeated configuration still
+	// gets its own independent noise draw, exactly as before.
+	ctx := opt.context()
+	col := collector.New(nil, &emews.Runner{Workers: opt.Workers, MaxRetries: 3})
 
 	// Measure the workflow pool.
-	tasks := make([]emews.Task, len(gt.Pool))
-	comps := make([]float64, len(gt.Pool))
-	energies := make([]float64, len(gt.Pool))
+	keys := make([]string, len(gt.Pool))
 	for i, cfg := range gt.Pool {
-		i, cfg := i, cfg
 		gt.poolIdx[cfg.Key()] = i
-		tasks[i] = func(int) (float64, error) {
-			w, err := b.Build(cfg)
-			if err != nil {
-				return 0, err
-			}
-			noise := rand.New(rand.NewPCG(opt.Seed, 0x1000000+uint64(i)))
-			meas, err := w.Measure(noise)
-			if err != nil {
-				return 0, err
-			}
-			comps[i] = meas.CompTime
-			energies[i] = meas.EnergyKJ
-			return meas.ExecTime, nil
-		}
+		keys[i] = fmt.Sprintf("gt:wf:%d", i)
 	}
-	execs, err := runner.RunAll(tasks)
+	pool, err := collector.RunKeyed(ctx, col, keys, func(i, _ int) (workflow.Measurement, error) {
+		w, err := b.Build(gt.Pool[i])
+		if err != nil {
+			return workflow.Measurement{}, err
+		}
+		noise := rand.New(rand.NewPCG(opt.Seed, 0x1000000+uint64(i)))
+		return w.Measure(noise)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("paperexp: measure %s pool: %w", b.Name, err)
 	}
-	gt.Exec = execs
-	gt.Comp = comps
-	gt.Energy = energies
+	gt.Exec = make([]float64, len(pool))
+	gt.Comp = make([]float64, len(pool))
+	gt.Energy = make([]float64, len(pool))
+	for i, meas := range pool {
+		gt.Exec[i] = meas.ExecTime
+		gt.Comp[i] = meas.CompTime
+		gt.Energy[i] = meas.EnergyKJ
+	}
 
 	// Measure the component sets.
 	for j, cs := range b.Components {
@@ -207,30 +222,22 @@ func BuildGroundTruth(b *workflow.Benchmark, opt BuildOptions) (*GroundTruth, er
 			continue
 		}
 		cfgs := cs.Space.SampleN(rng, opt.ComponentSamples)
-		compTimes := make([]float64, len(cfgs))
-		compEnergies := make([]float64, len(cfgs))
-		soloTasks := make([]emews.Task, len(cfgs))
-		for i, cfg := range cfgs {
-			i, cfg, cs, j := i, cfg, cs, j
-			soloTasks[i] = func(int) (float64, error) {
-				noise := rand.New(rand.NewPCG(opt.Seed, 0x2000000+uint64(j)<<20+uint64(i)))
-				meas, err := workflow.MeasureSolo(b.Machine, cs.BuildSolo(cfg), cs.InBytesPerStep, noise)
-				if err != nil {
-					return 0, err
-				}
-				compTimes[i] = meas.CompTime
-				compEnergies[i] = meas.EnergyKJ
-				return meas.ExecTime, nil
-			}
+		soloKeys := make([]string, len(cfgs))
+		for i := range cfgs {
+			soloKeys[i] = fmt.Sprintf("gt:c%d:%d", j, i)
 		}
-		soloExecs, err := runner.RunAll(soloTasks)
+		j, cs := j, cs
+		solos, err := collector.RunKeyed(ctx, col, soloKeys, func(i, _ int) (workflow.Measurement, error) {
+			noise := rand.New(rand.NewPCG(opt.Seed, 0x2000000+uint64(j)<<20+uint64(i)))
+			return workflow.MeasureSolo(b.Machine, cs.BuildSolo(cfgs[i]), cs.InBytesPerStep, noise)
+		})
 		if err != nil {
 			return nil, fmt.Errorf("paperexp: measure %s/%s set: %w", b.Name, cs.Name, err)
 		}
 		for i, cfg := range cfgs {
-			gt.CompExec[j] = append(gt.CompExec[j], tuner.Sample{Cfg: cfg, Value: soloExecs[i]})
-			gt.CompComp[j] = append(gt.CompComp[j], tuner.Sample{Cfg: cfg, Value: compTimes[i]})
-			gt.CompEnergy[j] = append(gt.CompEnergy[j], tuner.Sample{Cfg: cfg, Value: compEnergies[i]})
+			gt.CompExec[j] = append(gt.CompExec[j], tuner.Sample{Cfg: cfg, Value: solos[i].ExecTime})
+			gt.CompComp[j] = append(gt.CompComp[j], tuner.Sample{Cfg: cfg, Value: solos[i].CompTime})
+			gt.CompEnergy[j] = append(gt.CompEnergy[j], tuner.Sample{Cfg: cfg, Value: solos[i].EnergyKJ})
 		}
 	}
 

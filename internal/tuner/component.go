@@ -6,7 +6,6 @@ import (
 
 	"ceal/internal/acm"
 	"ceal/internal/cfgspace"
-	"ceal/internal/emews"
 	"ceal/internal/ml/xgb"
 )
 
@@ -31,11 +30,11 @@ func trainComponentModels(p *Problem, mR int, rng *rand.Rand) (*componentModels,
 	for j, comp := range p.Components {
 		j := j
 		if comp.Space == nil {
-			v, err := p.Eval.MeasureComponent(j, nil)
+			solo, err := p.Collector().MeasureComponents(p.context(), j, []cfgspace.Config{nil})
 			if err != nil {
 				return nil, fmt.Errorf("tuner: measure fixed component %s: %w", comp.Name, err)
 			}
-			part := acm.Part{Name: comp.Name, Predictor: acm.ConstPredictor(v)}
+			part := acm.Part{Name: comp.Name, Predictor: acm.ConstPredictor(solo[0].Value)}
 			if comp.Cores != nil {
 				part.Cores = func(cfgspace.Config) float64 { return comp.Cores(nil) }
 			}
@@ -49,20 +48,12 @@ func trainComponentModels(p *Problem, mR int, rng *rand.Rand) (*componentModels,
 		}
 		if mR > 0 {
 			cfgs := sampleComponentConfigs(p, j, comp.Space, mR, rng)
-			tasks := make([]emews.Task, len(cfgs))
-			for i, cfg := range cfgs {
-				cfg := cfg
-				tasks[i] = func(int) (float64, error) { return p.Eval.MeasureComponent(j, cfg) }
-			}
-			vals, err := p.runner().RunAll(tasks)
+			batch, err := p.Collector().MeasureComponents(p.context(), j, cfgs)
 			if err != nil {
 				return nil, fmt.Errorf("tuner: measure component %s: %w", comp.Name, err)
 			}
-			for i := range cfgs {
-				s := Sample{Cfg: cfgs[i], Value: vals[i]}
-				samples = append(samples, s)
-				newSamples[j] = append(newSamples[j], s)
-			}
+			samples = append(samples, batch...)
+			newSamples[j] = append(newSamples[j], batch...)
 		}
 		if len(samples) == 0 {
 			return nil, fmt.Errorf("tuner: component %s has no measurements (mR=0 and no history)", comp.Name)

@@ -17,33 +17,28 @@
 package tuner
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
+	"sync"
 
 	"ceal/internal/acm"
 	"ceal/internal/cfgspace"
+	"ceal/internal/collector"
 	"ceal/internal/emews"
 	"ceal/internal/ml/xgb"
 )
 
 // Evaluator measures configurations. Implementations may run the cluster
 // simulator directly or look measurements up in a pre-built ground truth.
-type Evaluator interface {
-	// MeasureWorkflow returns the optimization metric of one coupled
-	// workflow run at cfg (lower is better).
-	MeasureWorkflow(cfg cfgspace.Config) (float64, error)
-	// MeasureComponent returns the metric of one standalone run of
-	// component j at its sub-configuration cfg (nil for unconfigurable
-	// components).
-	MeasureComponent(j int, cfg cfgspace.Config) (float64, error)
-}
+// Algorithms never call an Evaluator directly: every measurement flows
+// through the problem's caching collector (see Problem.Collector).
+type Evaluator = collector.Evaluator
 
 // Sample is one measured configuration.
-type Sample struct {
-	Cfg   cfgspace.Config
-	Value float64
-}
+type Sample = collector.Sample
 
 // ComponentInfo describes one component application of the workflow.
 type ComponentInfo struct {
@@ -96,8 +91,38 @@ type Problem struct {
 	Surrogate xgb.Params
 	// Runner executes measurement batches; nil means a serial runner.
 	Runner *emews.Runner
+	// Ctx optionally cancels a tuning run: every measurement batch is
+	// dispatched under this context, so cancelling it aborts the run
+	// promptly with Ctx.Err(). nil means context.Background().
+	Ctx context.Context
 	// Seed drives all of the algorithm's random choices.
 	Seed uint64
+
+	// col memoizes the problem's measurement collector so every algorithm
+	// run on this problem shares one cache (repeated configurations across
+	// algorithms or iterations are never re-simulated).
+	colMu sync.Mutex
+	col   *collector.Collector
+}
+
+// Collector returns the problem's measurement collector, constructing it
+// from Eval and Runner on first use. All algorithms measure exclusively
+// through it; callers can inspect cache behaviour via Collector().Stats().
+func (p *Problem) Collector() *collector.Collector {
+	p.colMu.Lock()
+	defer p.colMu.Unlock()
+	if p.col == nil {
+		p.col = collector.New(p.Eval, p.runner())
+	}
+	return p.col
+}
+
+// context returns the problem's cancellation context.
+func (p *Problem) context() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
 }
 
 func (p *Problem) surrogateParams() xgb.Params {
@@ -210,23 +235,10 @@ type Algorithm interface {
 	Tune(p *Problem, budget int) (*Result, error)
 }
 
-// measureBatch measures workflow configurations through the collector and
-// returns samples in submission order.
+// measureBatch measures workflow configurations through the problem's
+// caching collector and returns samples in submission order.
 func measureBatch(p *Problem, cfgs []cfgspace.Config) ([]Sample, error) {
-	tasks := make([]emews.Task, len(cfgs))
-	for i, cfg := range cfgs {
-		cfg := cfg
-		tasks[i] = func(int) (float64, error) { return p.Eval.MeasureWorkflow(cfg) }
-	}
-	vals, err := p.runner().RunAll(tasks)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Sample, len(cfgs))
-	for i := range cfgs {
-		out[i] = Sample{Cfg: cfgs[i], Value: vals[i]}
-	}
-	return out, nil
+	return p.Collector().MeasureWorkflows(p.context(), cfgs)
 }
 
 // finish assembles a Result from the final model scores over the pool.
@@ -324,16 +336,15 @@ func (t *poolTracker) takeTop(n int, score func(cfgspace.Config) float64) []cfgs
 	for i, idx := range t.remaining {
 		ss[i] = scored{pos: i, val: score(t.p.Pool[idx])}
 	}
-	// Partial selection of the n best.
-	for i := 0; i < n; i++ {
-		best := i
-		for j := i + 1; j < len(ss); j++ {
-			if ss[j].val < ss[best].val {
-				best = j
-			}
+	// Sort by score with position tie-break (deterministic, matching
+	// metrics.TopIndices) and take the n best — O(n log n) against the old
+	// O(n·k) selection sort, which dominated the hot path at pool size 2000.
+	sort.Slice(ss, func(a, b int) bool {
+		if ss[a].val != ss[b].val {
+			return ss[a].val < ss[b].val
 		}
-		ss[i], ss[best] = ss[best], ss[i]
-	}
+		return ss[a].pos < ss[b].pos
+	})
 	out := make([]cfgspace.Config, n)
 	kill := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -341,13 +352,7 @@ func (t *poolTracker) takeTop(n int, score func(cfgspace.Config) float64) []cfgs
 		kill[i] = ss[i].pos
 	}
 	// Remove taken positions (descending to keep indices valid).
-	for i := range kill {
-		for j := i + 1; j < len(kill); j++ {
-			if kill[j] > kill[i] {
-				kill[i], kill[j] = kill[j], kill[i]
-			}
-		}
-	}
+	sort.Sort(sort.Reverse(sort.IntSlice(kill)))
 	for _, pos := range kill {
 		t.remaining[pos] = t.remaining[len(t.remaining)-1]
 		t.remaining = t.remaining[:len(t.remaining)-1]
