@@ -30,7 +30,7 @@ func main() {
 		budget  = flag.Int("budget", 50, "measurement budget in workflow-run equivalents")
 		pool    = flag.Int("pool", 2000, "candidate pool size")
 		seed    = flag.Uint64("seed", 1, "random seed")
-		workers = flag.Int("workers", 1, "parallel measurement width")
+		workers = flag.Int("workers", 1, "parallel measurement and pool-scoring width")
 		timeout = flag.Duration("timeout", 0, "abort tuning after this long (0: no limit)")
 	)
 	flag.Parse()
@@ -62,6 +62,7 @@ func main() {
 		b.Name, obj, alg.Name(), *budget, *pool, *workers)
 	problem := ceal.NewProblem(b, obj, *pool, *seed)
 	problem.Runner = &emews.Runner{Workers: *workers, MaxRetries: 3}
+	problem.Workers = *workers
 	problem.Ctx = ctx
 	start := time.Now()
 	res, err := alg.Tune(problem, *budget)

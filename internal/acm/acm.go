@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"ceal/internal/cfgspace"
+	"ceal/internal/score"
 )
 
 // Combiner selects the component-combination function.
@@ -164,11 +165,16 @@ func (lf *LowFidelity) bottleneckSum(cfg cfgspace.Config, vs []float64) float64 
 
 // ScoreBatch scores every configuration.
 func (lf *LowFidelity) ScoreBatch(cfgs []cfgspace.Config) []float64 {
-	out := make([]float64, len(cfgs))
-	for i, cfg := range cfgs {
-		out[i] = lf.Score(cfg)
-	}
-	return out
+	return lf.ScoreBatchOn(nil, cfgs)
+}
+
+// ScoreBatchOn scores every configuration on the engine's workers (nil
+// engine: serial). Each configuration's score is computed independently
+// and written to its own slot, so output is identical for any worker
+// count. Part predictors must be read-only under Predict, which every
+// model in this repository is.
+func (lf *LowFidelity) ScoreBatchOn(e *score.Engine, cfgs []cfgspace.Config) []float64 {
+	return e.Floats(len(cfgs), func(i int) float64 { return lf.Score(cfgs[i]) })
 }
 
 // ForObjective returns the combining function for an optimization metric:

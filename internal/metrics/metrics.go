@@ -12,7 +12,8 @@ import (
 )
 
 // TopIndices returns the indices of the n smallest values, best first.
-// Ties break by index so rankings are deterministic.
+// Ties break by index so rankings are deterministic. n is clamped to
+// [0, len(values)].
 func TopIndices(n int, values []float64) []int {
 	idx := make([]int, len(values))
 	for i := range idx {
@@ -27,6 +28,9 @@ func TopIndices(n int, values []float64) []int {
 	})
 	if n > len(idx) {
 		n = len(idx)
+	}
+	if n < 0 {
+		n = 0
 	}
 	return idx[:n]
 }

@@ -21,6 +21,86 @@ func TestTopIndices(t *testing.T) {
 	}
 }
 
+func TestTopIndicesTable(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		vals []float64
+		want []int
+	}{
+		{"ties break by index", 4, []float64{2, 1, 2, 1, 2}, []int{1, 3, 0, 2}},
+		{"all equal is identity order", 5, []float64{7, 7, 7, 7, 7}, []int{0, 1, 2, 3, 4}},
+		{"n zero", 0, []float64{3, 1, 2}, []int{}},
+		{"n negative clamps to empty", -2, []float64{3, 1, 2}, []int{}},
+		{"n beyond len clamps", 99, []float64{3, 1, 2}, []int{1, 2, 0}},
+		{"empty values", 3, nil, []int{}},
+		{"negative and inf values", 3, []float64{0, math.Inf(-1), -5, math.Inf(1)}, []int{1, 2, 0}},
+		{"single element", 1, []float64{42}, []int{0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := TopIndices(tc.n, tc.vals)
+			if len(got) != len(tc.want) {
+				t.Fatalf("TopIndices(%d, %v) = %v, want %v", tc.n, tc.vals, got, tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("TopIndices(%d, %v) = %v, want %v", tc.n, tc.vals, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestTopIndicesDoesNotMutateInput(t *testing.T) {
+	vals := []float64{5, 1, 3}
+	TopIndices(2, vals)
+	if vals[0] != 5 || vals[1] != 1 || vals[2] != 3 {
+		t.Fatalf("TopIndices mutated its input: %v", vals)
+	}
+}
+
+func TestRecallScoreTable(t *testing.T) {
+	cases := []struct {
+		name          string
+		n             int
+		scores, truth []float64
+		want          float64
+	}{
+		{"n larger than pool clamps to full set", 99, []float64{3, 2, 1}, []float64{1, 2, 3}, 100},
+		{"n equals pool size", 3, []float64{3, 2, 1}, []float64{1, 2, 3}, 100},
+		{"n zero", 0, []float64{1, 2}, []float64{1, 2}, 0},
+		{"n negative", -1, []float64{1, 2}, []float64{1, 2}, 0},
+		{"both empty", 3, nil, nil, 0},
+		{"half overlap", 2, []float64{1, 2, 3, 4}, []float64{4, 1, 2, 3}, 50},
+		{"tied scores rank by index", 1, []float64{1, 1, 1}, []float64{5, 1, 2}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := RecallScore(tc.n, tc.scores, tc.truth); got != tc.want {
+				t.Fatalf("RecallScore(%d, %v, %v) = %v, want %v",
+					tc.n, tc.scores, tc.truth, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic on length mismatch", name)
+				}
+			}()
+			fn()
+		})
+	}
+	mustPanic("RecallScore", func() { RecallScore(1, []float64{1, 2}, []float64{1}) })
+	mustPanic("MdAPE", func() { MdAPE([]float64{1, 2}, []float64{1}) })
+	mustPanic("Spearman", func() { Spearman([]float64{1, 2}, []float64{1}) })
+}
+
 func TestRecallScorePerfectAndZero(t *testing.T) {
 	truth := []float64{1, 2, 3, 4, 5, 6}
 	if got := RecallScore(3, truth, truth); got != 100 {

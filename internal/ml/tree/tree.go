@@ -148,6 +148,46 @@ func leaves(n *node) int {
 	return leaves(n.left) + leaves(n.right)
 }
 
+// FillComplete encodes the tree as a complete binary tree of the given
+// depth (which must be >= t.Depth()) for branchless batch prediction:
+// heap order, node j's children at 2j+1 and 2j+2, so descent is pure
+// index arithmetic with no child pointers to load. feats and thresh must
+// have 2^depth-1 slots, leaves 2^depth. Leaf values are scaled by scale
+// (e.g. a boosting learning rate — the same single multiplication
+// prediction would perform, so results stay bitwise identical). Leaves
+// shallower than depth are padded: the padding node splits on feature 0
+// and both subtrees reproduce the same leaf value, so any route reaches
+// the right output.
+//
+// Descend with, per level: go left (2j+1) when x[feats[j]] < thresh[j],
+// else right (2j+2); after depth levels the leaf index is j - (2^depth-1)
+// into leaves. NaN features go right, exactly as Predict does.
+func (t *Tree) FillComplete(depth int, scale float64, feats []int32, thresh []float64, leaves []float64) {
+	if n := 1<<depth - 1; len(feats) != n || len(thresh) != n || len(leaves) != n+1 {
+		panic("tree: FillComplete slice sizes do not match depth")
+	}
+	fillComplete(t.root, 0, depth, scale, feats, thresh, leaves)
+}
+
+func fillComplete(n *node, j, left int, scale float64, feats []int32, thresh []float64, leaves []float64) {
+	if left == 0 {
+		// Depth exhausted: n must be a leaf (depth >= t.Depth()).
+		leaves[j-len(feats)] = scale * n.value
+		return
+	}
+	if n.leaf {
+		feats[j] = 0
+		thresh[j] = 0
+		fillComplete(n, 2*j+1, left-1, scale, feats, thresh, leaves)
+		fillComplete(n, 2*j+2, left-1, scale, feats, thresh, leaves)
+		return
+	}
+	feats[j] = int32(n.feature)
+	thresh[j] = n.threshold
+	fillComplete(n.left, 2*j+1, left-1, scale, feats, thresh, leaves)
+	fillComplete(n.right, 2*j+2, left-1, scale, feats, thresh, leaves)
+}
+
 // AccumulateGains adds every split's gain to into[feature] — the basis of
 // gain-based feature importance. into must be sized to the feature count.
 func (t *Tree) AccumulateGains(into []float64) { accumulateGains(t.root, into) }

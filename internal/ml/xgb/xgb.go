@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 
 	"ceal/internal/ml/tree"
+	"ceal/internal/score"
 )
 
 // Params configures training.
@@ -43,6 +45,60 @@ type Model struct {
 	base  float64
 	eta   float64
 	trees []*tree.Tree
+
+	// Flattened ensemble for batch prediction (see flatten), built lazily
+	// on the first batch call. Bitwise-equivalent to the pointer trees.
+	flatOnce sync.Once
+	flat     *flatEnsemble
+}
+
+// flatEnsemble holds every tree as a complete binary tree of uniform
+// depth in three contiguous arrays (heap order, per-tree strides): split
+// features, split thresholds, and eta-scaled leaf values. Descent is pure
+// index arithmetic — node j's children sit at 2j+1 and 2j+2, no child
+// indices are loaded — which compiles to a branchless select and keeps
+// the whole ensemble cache-resident (a 100-tree depth-4 ensemble is
+// ~30 KB).
+type flatEnsemble struct {
+	depth  int       // uniform complete-tree depth
+	feats  []int32   // per tree: 2^depth-1 heap-ordered split features
+	thresh []float64 // same shape as feats
+	leaves []float64 // per tree: 2^depth eta-scaled leaf values
+}
+
+// maxFlatDepth bounds the complete-tree padding: beyond this the 2^depth
+// blow-up outweighs the branchless walk and batch prediction falls back
+// to per-row Predict. Defaults keep ensembles at depth 4.
+const maxFlatDepth = 8
+
+// flatten builds the complete-tree ensemble once; safe for concurrent
+// use. m.flat stays nil when the ensemble is too deep to pad.
+func (m *Model) flatten() {
+	m.flatOnce.Do(func() {
+		depth := 1 // zero-depth stumps still need one padded level
+		for _, t := range m.trees {
+			if d := t.Depth(); d > depth {
+				depth = d
+			}
+		}
+		if depth > maxFlatDepth {
+			return
+		}
+		inner, leafN := 1<<depth-1, 1<<depth
+		fe := &flatEnsemble{
+			depth:  depth,
+			feats:  make([]int32, inner*len(m.trees)),
+			thresh: make([]float64, inner*len(m.trees)),
+			leaves: make([]float64, leafN*len(m.trees)),
+		}
+		for i, t := range m.trees {
+			t.FillComplete(depth, m.eta,
+				fe.feats[i*inner:(i+1)*inner],
+				fe.thresh[i*inner:(i+1)*inner],
+				fe.leaves[i*leafN:(i+1)*leafN])
+		}
+		m.flat = fe
+	})
 }
 
 // FitWithValidation trains like Fit but monitors RMSE on a held-out set
@@ -163,10 +219,81 @@ func (m *Model) Predict(x []float64) float64 {
 
 // PredictBatch predicts for every row of X.
 func (m *Model) PredictBatch(X [][]float64) []float64 {
+	return m.PredictBatchOn(nil, X)
+}
+
+// PredictBatchOn predicts every row of X on the engine's workers (nil
+// engine: serial) with deterministic, index-ordered output — each row's
+// trees accumulate in ensemble order regardless of chunking, so results
+// are bitwise identical to per-row Predict for any worker count. The walk
+// uses the complete-tree ensemble (heap-ordered arrays, eta-scaled
+// leaves, branchless fixed-depth descent) and runs four independent rows
+// abreast so per-level load latency overlaps across rows instead of
+// serializing one level at a time.
+func (m *Model) PredictBatchOn(e *score.Engine, X [][]float64) []float64 {
+	m.flatten()
 	out := make([]float64, len(X))
-	for i, x := range X {
-		out[i] = m.Predict(x)
+	fe := m.flat
+	if fe == nil { // ensemble too deep to pad: original per-row walk
+		e.MapChunks(len(X), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = m.Predict(X[i])
+			}
+		})
+		return out
 	}
+	depth := fe.depth
+	inner, leafN := 1<<depth-1, 1<<depth
+	e.MapChunks(len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = m.base
+		}
+		for t := 0; t < len(m.trees); t++ {
+			fb := fe.feats[t*inner : (t+1)*inner]
+			tb := fe.thresh[t*inner : (t+1)*inner : (t+1)*inner]
+			lb := fe.leaves[t*leafN : (t+1)*leafN : (t+1)*leafN]
+			i := lo
+			for ; i+4 <= hi; i += 4 {
+				x0, x1, x2, x3 := X[i], X[i+1], X[i+2], X[i+3]
+				j0, j1, j2, j3 := 0, 0, 0, 0
+				for d := 0; d < depth; d++ {
+					b0, b1, b2, b3 := 1, 1, 1, 1
+					if x0[fb[j0]] < tb[j0] {
+						b0 = 0
+					}
+					if x1[fb[j1]] < tb[j1] {
+						b1 = 0
+					}
+					if x2[fb[j2]] < tb[j2] {
+						b2 = 0
+					}
+					if x3[fb[j3]] < tb[j3] {
+						b3 = 0
+					}
+					j0 = 2*j0 + 1 + b0
+					j1 = 2*j1 + 1 + b1
+					j2 = 2*j2 + 1 + b2
+					j3 = 2*j3 + 1 + b3
+				}
+				out[i] += lb[j0-inner]
+				out[i+1] += lb[j1-inner]
+				out[i+2] += lb[j2-inner]
+				out[i+3] += lb[j3-inner]
+			}
+			for ; i < hi; i++ {
+				x := X[i]
+				j := 0
+				for d := 0; d < depth; d++ {
+					b := 1
+					if x[fb[j]] < tb[j] {
+						b = 0
+					}
+					j = 2*j + 1 + b
+				}
+				out[i] += lb[j-inner]
+			}
+		}
+	})
 	return out
 }
 

@@ -5,6 +5,8 @@ import (
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
+
+	"ceal/internal/score"
 )
 
 func rmse(pred, y []float64) float64 {
@@ -216,5 +218,66 @@ func TestFitWithValidationErrors(t *testing.T) {
 	}
 	if _, err := FitWithValidation(X, y, X, y, DefaultParams(), 0); err == nil {
 		t.Fatal("zero patience accepted")
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	// The chunked, tree-outer batch path must be bitwise identical to the
+	// per-row Predict loop — for the serial path, and on the engine at any
+	// worker count (the determinism contract of the scoring engine).
+	X, y := makeQuadratic(300, 0.1, 5)
+	m, err := Fit(X, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, len(X))
+	for i, x := range X {
+		want[i] = m.Predict(x)
+	}
+	check := func(name string, got []float64) {
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d predictions, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("%s: row %d = %v, Predict = %v", name, i, got[i], want[i])
+			}
+		}
+	}
+	check("serial", m.PredictBatch(X))
+	for _, w := range []int{1, 4, 8} {
+		check("engine", m.PredictBatchOn(score.New(w), X))
+	}
+	if out := m.PredictBatch(nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d predictions", len(out))
+	}
+}
+
+func TestPredictBatchRowOrderInvariantProperty(t *testing.T) {
+	// Property: predictions depend only on the row itself, never on its
+	// neighbours or position — permuting the batch permutes the output.
+	X, y := makeQuadratic(120, 0.1, 7)
+	m, err := Fit(X, y, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.PredictBatch(X)
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		perm := rng.Perm(len(X))
+		shuffled := make([][]float64, len(X))
+		for i, j := range perm {
+			shuffled[i] = X[j]
+		}
+		got := m.PredictBatchOn(score.New(1+int(seed%8)), shuffled)
+		for i, j := range perm {
+			if math.Float64bits(got[i]) != math.Float64bits(base[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
 	}
 }

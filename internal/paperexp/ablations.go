@@ -31,6 +31,7 @@ func runAblations(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 		for _, c := range []acm.Combiner{acm.Max, acm.Sum, acm.BottleneckSum, acm.Mean, acm.Min} {
 			p := gt.Problem(obj, true, opt.Seed)
 			p.Combiner = c
+			p.Workers = opt.Build.Workers
 			scores, err := tuner.LowFidelityScores(p, 0, gt.Pool[:n])
 			if err != nil {
 				return nil, err

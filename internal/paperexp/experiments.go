@@ -162,6 +162,7 @@ func runFig4(gts map[string]*GroundTruth, opt Options) ([]*Table, error) {
 	rows := map[int][4]float64{}
 	for _, obj := range []Objective{CompTime, ExecTime} {
 		p := gt.Problem(obj, true, opt.Seed)
+		p.Workers = opt.Build.Workers
 		scores, err := tuner.LowFidelityScores(p, 0, subset)
 		if err != nil {
 			return nil, err

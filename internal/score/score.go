@@ -1,0 +1,131 @@
+// Package score implements the pool-scoring engine: batch model inference
+// over a candidate pool, fanned across a worker pool with deterministic,
+// index-ordered output, plus a featurized-pool matrix cache so a tuning
+// run featurizes each configuration once rather than once per scoring call
+// per iteration. It is the inference-throughput counterpart of the
+// measurement collector: every hot scoring path (surrogate pool
+// prediction, low-fidelity ranking, candidate selection) runs through it.
+//
+// Determinism contract: Map-style calls partition [0, n) into fixed
+// contiguous chunks and every index writes only its own output slot, so
+// results are bitwise identical for any worker count — parallelism never
+// reorders, merges, or re-associates floating-point work.
+package score
+
+import (
+	"sync"
+
+	"ceal/internal/cfgspace"
+)
+
+// minParallel is the smallest batch worth fanning out; below it the
+// goroutine hand-off costs more than the work saved.
+const minParallel = 64
+
+// Engine runs index-addressed scoring batches on a fixed-width worker
+// pool. A nil *Engine is valid and scores serially, so callers never need
+// a serial/parallel fork.
+type Engine struct {
+	workers int
+}
+
+// New returns an engine of the given width; widths below 2 (and nil
+// engines) execute serially.
+func New(workers int) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Engine{workers: workers}
+}
+
+// Workers returns the engine's parallel width (1 for a nil engine).
+func (e *Engine) Workers() int {
+	if e == nil {
+		return 1
+	}
+	return e.workers
+}
+
+// MapChunks covers [0, n) with fixed contiguous chunks, one goroutine per
+// chunk, and waits for all of them. fn must write only state owned by its
+// index range. Small batches and serial engines run inline.
+func (e *Engine) MapChunks(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := e.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < minParallel {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map invokes fn for every index in [0, n) across the engine's workers.
+func (e *Engine) Map(n int, fn func(i int)) {
+	e.MapChunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Floats collects one float64 per index in [0, n), index-ordered.
+func (e *Engine) Floats(n int, fn func(i int) float64) []float64 {
+	out := make([]float64, n)
+	e.Map(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Matrix caches the featurized rows of one candidate pool. The cache is
+// keyed by slice identity (backing array plus length), which is sound
+// because pools are immutable for the lifetime of a tuning run; passing a
+// different slice — or a different-length prefix of the same pool —
+// simply recomputes and replaces the cache.
+type Matrix struct {
+	mu   sync.Mutex
+	head *cfgspace.Config
+	n    int
+	rows [][]float64
+}
+
+// Rows returns the featurized matrix for pool, computing it with feats on
+// the engine's workers on first use and serving the cached rows on every
+// later call with the same pool slice. Concurrent first calls may
+// featurize redundantly but always return a consistent matrix.
+func (m *Matrix) Rows(e *Engine, pool []cfgspace.Config, feats func(cfgspace.Config) []float64) [][]float64 {
+	if len(pool) == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	if m.head == &pool[0] && m.n == len(pool) {
+		rows := m.rows
+		m.mu.Unlock()
+		return rows
+	}
+	m.mu.Unlock()
+
+	rows := make([][]float64, len(pool))
+	e.Map(len(pool), func(i int) { rows[i] = feats(pool[i]) })
+
+	m.mu.Lock()
+	m.head, m.n, m.rows = &pool[0], len(pool), rows
+	m.mu.Unlock()
+	return rows
+}

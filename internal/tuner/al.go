@@ -64,7 +64,7 @@ func (a *AL) Tune(p *Problem, budget int) (*Result, error) {
 		if batch < 1 {
 			batch = 1
 		}
-		cfgs := tracker.takeTop(batch, model.Predict)
+		cfgs := tracker.takeTop(batch, model.poolScorer(p))
 		newSamples, err := measureBatch(p, cfgs)
 		if err != nil {
 			return nil, err

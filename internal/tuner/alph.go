@@ -75,7 +75,7 @@ func (a *ALpH) Tune(p *Problem, budget int) (*Result, error) {
 		}
 		return x
 	}
-	model := newFeatureSurrogate(feats, p.surrogateParams())
+	model := newFeatureSurrogate(p, feats)
 
 	workBudget := budget - mR
 	tracker := newPoolTracker(p)
@@ -103,7 +103,7 @@ func (a *ALpH) Tune(p *Problem, budget int) (*Result, error) {
 		if batchSize < 1 {
 			batchSize = 1
 		}
-		batch, err := measureBatch(p, tracker.takeTop(batchSize, model.Predict))
+		batch, err := measureBatch(p, tracker.takeTop(batchSize, model.poolScorer(p)))
 		if err != nil {
 			return nil, err
 		}

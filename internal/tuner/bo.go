@@ -89,10 +89,14 @@ func (b *BO) Tune(p *Problem, budget int) (*Result, error) {
 			batchSize = 1
 		}
 		// Acquire by negative EI so takeTop (which minimizes) picks the
-		// highest expected improvement.
-		acq := func(cfg cfgspace.Config) float64 {
-			mean, std := f.PredictWithStd(p.features(cfg))
-			return -expectedImprovement(bestLog, mean, std)
+		// highest expected improvement. Candidate features come from the
+		// problem's cached pool matrix, looked up by pool index.
+		acq := func(_ []cfgspace.Config, idxs []int) []float64 {
+			X := p.poolFeatures()
+			return p.engine().Floats(len(idxs), func(i int) float64 {
+				mean, std := f.PredictWithStd(X[idxs[i]])
+				return -expectedImprovement(bestLog, mean, std)
+			})
 		}
 		batch, err := measureBatch(p, tracker.takeTop(batchSize, acq))
 		if err != nil {
@@ -104,11 +108,11 @@ func (b *BO) Tune(p *Problem, budget int) (*Result, error) {
 		}
 	}
 
-	scores := make([]float64, len(p.Pool))
-	for i, cfg := range p.Pool {
-		mean, _ := f.PredictWithStd(p.features(cfg))
-		scores[i] = unlogTarget(mean)
-	}
+	X := p.poolFeatures()
+	scores := p.engine().Floats(len(p.Pool), func(i int) float64 {
+		mean, _ := f.PredictWithStd(X[i])
+		return unlogTarget(mean)
+	})
 	return finish(p, scores, samples, nil, -1), nil
 }
 

@@ -110,7 +110,7 @@ func (c *CEAL) Tune(p *Problem, budget int) (*Result, error) {
 	if mB < 1 {
 		mB = 1
 	}
-	pending = append(pending, tracker.takeTop(capBatch(mB, workBudget, len(pending), 0), lowFi.Score)...) // lines 9–10
+	pending = append(pending, tracker.takeTop(capBatch(mB, workBudget, len(pending), 0), p.lowFiScorer(lowFi))...) // lines 9–10
 
 	high := newSurrogate(p) // M_H, line 12
 	usingHigh := false      // M = M_L, line 11
@@ -135,13 +135,13 @@ func (c *CEAL) Tune(p *Problem, budget int) (*Result, error) {
 			holdout = append(holdout, batch...)
 			if len(holdout) >= minHoldout {
 				truth := make([]float64, len(holdout))
-				highScores := make([]float64, len(holdout))
-				lowScores := make([]float64, len(holdout))
+				cfgs := make([]cfgspace.Config, len(holdout))
 				for k, s := range holdout {
 					truth[k] = s.Value
-					highScores[k] = high.Predict(s.Cfg)
-					lowScores[k] = lowFi.Score(s.Cfg)
+					cfgs[k] = s.Cfg
 				}
+				highScores := high.PredictBatch(cfgs)
+				lowScores := lowFi.ScoreBatchOn(p.engine(), cfgs)
 				sH := metrics.RecallSum(highScores, truth) // line 18
 				sL := metrics.RecallSum(lowScores, truth)  // line 19
 
@@ -173,9 +173,9 @@ func (c *CEAL) Tune(p *Problem, budget int) (*Result, error) {
 		if i == I {
 			break
 		}
-		score := lowFi.Score // line 26
+		scorer := p.lowFiScorer(lowFi) // line 26
 		if usingHigh {
-			score = high.Predict
+			scorer = high.poolScorer(p)
 		}
 		want := mB
 		if i == I-1 {
@@ -184,7 +184,7 @@ func (c *CEAL) Tune(p *Problem, budget int) (*Result, error) {
 			want = workBudget
 		}
 		room := capBatch(want, workBudget, len(measured), len(pending))
-		pending = append(pending, tracker.takeTop(room, score)...) // line 27
+		pending = append(pending, tracker.takeTop(room, scorer)...) // line 27
 		if len(pending) == 0 {
 			break // budget exhausted
 		}
@@ -237,5 +237,5 @@ func LowFidelityScores(p *Problem, mR int, cfgs []cfgspace.Config) ([]float64, e
 	if err != nil {
 		return nil, err
 	}
-	return cm.lowFi.ScoreBatch(cfgs), nil
+	return cm.lowFi.ScoreBatchOn(p.engine(), cfgs), nil
 }

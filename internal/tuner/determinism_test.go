@@ -1,0 +1,68 @@
+package tuner
+
+import (
+	"math"
+	"testing"
+)
+
+// TestResultsIdenticalAcrossWorkerCounts is the scoring engine's
+// regression contract: a Problem tuned with Workers = 1, 4, and 8 must
+// produce byte-identical results — same best configuration, bitwise-equal
+// pool scores, same measured samples, same model-switch iteration — for
+// every algorithm. Parallel pool scoring only reorders independent slot
+// writes; any re-association of float math or racy selection would show
+// up here as a diverged Result.
+func TestResultsIdenticalAcrossWorkerCounts(t *testing.T) {
+	const (
+		seed   = 42
+		pool   = 300
+		budget = 24
+	)
+	for _, alg := range allAlgorithms() {
+		run := func(workers int) *Result {
+			p := synthProblem(seed, pool)
+			p.Workers = workers
+			res, err := alg.Tune(p, budget)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", alg.Name(), workers, err)
+			}
+			return res
+		}
+		ref := run(1)
+		for _, w := range []int{4, 8} {
+			got := run(w)
+			if got.Best.Key() != ref.Best.Key() {
+				t.Errorf("%s workers=%d: Best %v, serial Best %v", alg.Name(), w, got.Best, ref.Best)
+			}
+			if got.SwitchIteration != ref.SwitchIteration {
+				t.Errorf("%s workers=%d: SwitchIteration %d, serial %d",
+					alg.Name(), w, got.SwitchIteration, ref.SwitchIteration)
+			}
+			if len(got.PoolScores) != len(ref.PoolScores) {
+				t.Fatalf("%s workers=%d: %d pool scores, serial %d",
+					alg.Name(), w, len(got.PoolScores), len(ref.PoolScores))
+			}
+			for i := range ref.PoolScores {
+				if math.Float64bits(got.PoolScores[i]) != math.Float64bits(ref.PoolScores[i]) {
+					t.Errorf("%s workers=%d: PoolScores[%d] = %v, serial %v",
+						alg.Name(), w, i, got.PoolScores[i], ref.PoolScores[i])
+					break
+				}
+			}
+			if len(got.Samples) != len(ref.Samples) {
+				t.Fatalf("%s workers=%d: measured %d samples, serial %d",
+					alg.Name(), w, len(got.Samples), len(ref.Samples))
+			}
+			for i := range ref.Samples {
+				if got.Samples[i].Cfg.Key() != ref.Samples[i].Cfg.Key() ||
+					math.Float64bits(got.Samples[i].Value) != math.Float64bits(ref.Samples[i].Value) {
+					t.Errorf("%s workers=%d: sample %d = (%v, %v), serial (%v, %v)",
+						alg.Name(), w, i,
+						got.Samples[i].Cfg, got.Samples[i].Value,
+						ref.Samples[i].Cfg, ref.Samples[i].Value)
+					break
+				}
+			}
+		}
+	}
+}

@@ -121,7 +121,7 @@ func (hb *HyBoost) Tune(p *Problem, budget int) (*Result, error) {
 		if batchSize < 1 {
 			batchSize = 1
 		}
-		batch, err := measureBatch(p, tracker.takeTop(batchSize, predict))
+		batch, err := measureBatch(p, tracker.takeTop(batchSize, p.scoreByConfig(predict)))
 		if err != nil {
 			return nil, err
 		}
@@ -130,10 +130,11 @@ func (hb *HyBoost) Tune(p *Problem, budget int) (*Result, error) {
 			return nil, err
 		}
 	}
-	scores := make([]float64, len(p.Pool))
-	for i, cfg := range p.Pool {
-		scores[i] = predict(cfg)
-	}
+	// predict reads am and the trained corrector only, so the pool fans out
+	// across the engine safely.
+	scores := p.engine().Floats(len(p.Pool), func(i int) float64 {
+		return predict(p.Pool[i])
+	})
 	return finish(p, scores, samples, cm.newSamples, -1), nil
 }
 
@@ -311,7 +312,7 @@ func (ks *KNNSelect) Tune(p *Problem, budget int) (*Result, error) {
 		if batchSize < 1 {
 			batchSize = 1
 		}
-		batch, err := measureBatch(p, tracker.takeTop(batchSize, predict))
+		batch, err := measureBatch(p, tracker.takeTop(batchSize, p.scoreByConfig(predict)))
 		if err != nil {
 			return nil, err
 		}
@@ -320,9 +321,10 @@ func (ks *KNNSelect) Tune(p *Problem, budget int) (*Result, error) {
 			return nil, err
 		}
 	}
-	scores := make([]float64, len(p.Pool))
-	for i, cfg := range p.Pool {
-		scores[i] = predict(cfg)
-	}
+	// Between refits every candidate model and the neighbour finder are
+	// read-only, so per-query selection fans out across the engine.
+	scores := p.engine().Floats(len(p.Pool), func(i int) float64 {
+		return predict(p.Pool[i])
+	})
 	return finish(p, scores, measured, cm.newSamples, -1), nil
 }

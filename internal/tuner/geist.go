@@ -6,6 +6,7 @@ import (
 
 	"ceal/internal/cfgspace"
 	"ceal/internal/metrics"
+	"ceal/internal/score"
 )
 
 // GEISTOptions configures the graph-guided sampler.
@@ -110,7 +111,7 @@ func (g *GEIST) Tune(p *Problem, budget int) (*Result, error) {
 		if batchSize < 1 {
 			batchSize = 1
 		}
-		scores := propagateLabels(graph, measured, len(p.Pool), opts, rng)
+		scores := propagateLabels(p.engine(), graph, measured, len(p.Pool), opts, rng)
 		nExplore := int(float64(batchSize)*opts.ExploreFrac + 0.5)
 		nExploit := batchSize - nExplore
 
@@ -167,7 +168,9 @@ func randomUnmeasured(n, poolSize int, unmeasured map[int]bool, rng *rand.Rand) 
 // propagateLabels runs damped label propagation on the parameter graph:
 // measured nodes are clamped to 1 if within the top quantile of measured
 // values (else 0); unmeasured nodes relax toward their neighbours' average.
-func propagateLabels(graph [][]int, measured map[int]float64, n int, opts GEISTOptions, rng *rand.Rand) []float64 {
+// Each sweep is a Jacobi update — next[] reads only the previous label[] —
+// so nodes fan out across the engine with bitwise-deterministic results.
+func propagateLabels(eng *score.Engine, graph [][]int, measured map[int]float64, n int, opts GEISTOptions, rng *rand.Rand) []float64 {
 	vals := make([]float64, 0, len(measured))
 	for _, v := range measured {
 		vals = append(vals, v)
@@ -194,22 +197,25 @@ func propagateLabels(graph [][]int, measured map[int]float64, n int, opts GEISTO
 	}
 	next := make([]float64, n)
 	for sweep := 0; sweep < opts.Sweeps; sweep++ {
-		for i := 0; i < n; i++ {
-			if clamped[i] {
-				next[i] = label[i]
-				continue
+		lbl := label
+		eng.MapChunks(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if clamped[i] {
+					next[i] = lbl[i]
+					continue
+				}
+				sum, cnt := 0.0, 0
+				for _, nb := range graph[i] {
+					sum += lbl[nb]
+					cnt++
+				}
+				if cnt == 0 {
+					next[i] = lbl[i]
+					continue
+				}
+				next[i] = 0.15*lbl[i] + 0.85*sum/float64(cnt)
 			}
-			sum, cnt := 0.0, 0
-			for _, nb := range graph[i] {
-				sum += label[nb]
-				cnt++
-			}
-			if cnt == 0 {
-				next[i] = label[i]
-				continue
-			}
-			next[i] = 0.15*label[i] + 0.85*sum/float64(cnt)
-		}
+		})
 		label, next = next, label
 	}
 	// Tiny deterministic jitter breaks large plateaus of equal scores.

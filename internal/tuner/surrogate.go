@@ -6,28 +6,34 @@ import (
 
 	"ceal/internal/cfgspace"
 	"ceal/internal/ml/xgb"
+	"ceal/internal/score"
 )
 
 // Surrogate is the high-fidelity workflow model M_H: a boosted-tree
 // regressor over configuration features. Targets are strictly positive
 // times, so training happens in log space — trees then optimize relative
-// error, which is what ranking good configurations needs.
+// error, which is what ranking good configurations needs. Batch
+// prediction fans across the problem's scoring engine and featurizes the
+// candidate pool once per run through a cached matrix.
 type Surrogate struct {
 	feats  func(cfgspace.Config) []float64
 	params xgb.Params
 	model  *xgb.Model
+	eng    *score.Engine
+	mat    *score.Matrix // featurized-pool cache (shared per problem for the workflow featurizer)
 }
 
 // newSurrogate builds an untrained surrogate over the problem's workflow
-// features.
+// features, sharing the problem's featurized-pool cache.
 func newSurrogate(p *Problem) *Surrogate {
-	return &Surrogate{feats: p.features, params: p.surrogateParams()}
+	return &Surrogate{feats: p.features, params: p.surrogateParams(), eng: p.engine(), mat: &p.poolMat}
 }
 
 // newFeatureSurrogate builds a surrogate over a custom featurizer (used by
-// ALpH to append component-model predictions to the features).
-func newFeatureSurrogate(feats func(cfgspace.Config) []float64, params xgb.Params) *Surrogate {
-	return &Surrogate{feats: feats, params: params}
+// ALpH to append component-model predictions to the features), with its
+// own pool cache since its rows differ from the problem's.
+func newFeatureSurrogate(p *Problem, feats func(cfgspace.Config) []float64) *Surrogate {
+	return &Surrogate{feats: feats, params: p.surrogateParams(), eng: p.engine(), mat: &score.Matrix{}}
 }
 
 // Trained reports whether Train has succeeded at least once.
@@ -69,13 +75,44 @@ func (s *Surrogate) Importance(dim int) []float64 {
 	return s.model.FeatureImportance(dim)
 }
 
-// PredictPool predicts for every pool configuration.
+// PredictPool predicts for every pool configuration, reusing the cached
+// feature matrix and fanning ensemble evaluation across the engine.
 func (s *Surrogate) PredictPool(pool []cfgspace.Config) []float64 {
-	out := make([]float64, len(pool))
-	for i, cfg := range pool {
-		out[i] = s.Predict(cfg)
+	if s.model == nil {
+		panic("tuner: PredictPool on untrained surrogate")
+	}
+	X := s.mat.Rows(s.eng, pool, s.feats)
+	out := s.model.PredictBatchOn(s.eng, X)
+	for i, v := range out {
+		out[i] = unlogTarget(v)
 	}
 	return out
+}
+
+// PredictBatch predicts for an ad-hoc configuration batch (featurized on
+// the fly; use PredictPool for the cached full pool).
+func (s *Surrogate) PredictBatch(cfgs []cfgspace.Config) []float64 {
+	if s.model == nil {
+		panic("tuner: PredictBatch on untrained surrogate")
+	}
+	return s.eng.Floats(len(cfgs), func(i int) float64 {
+		return unlogTarget(s.model.Predict(s.feats(cfgs[i])))
+	})
+}
+
+// poolScorer returns a candidate scorer over p.Pool indices backed by the
+// surrogate's cached feature matrix, so per-iteration ranking never
+// re-featurizes the pool.
+func (s *Surrogate) poolScorer(p *Problem) poolScorer {
+	return func(cfgs []cfgspace.Config, idxs []int) []float64 {
+		if s.model == nil {
+			panic("tuner: poolScorer on untrained surrogate")
+		}
+		X := s.mat.Rows(s.eng, p.Pool, s.feats)
+		return s.eng.Floats(len(idxs), func(i int) float64 {
+			return unlogTarget(s.model.Predict(X[idxs[i]]))
+		})
+	}
 }
 
 // logTarget maps a positive time to log space (guarding tiny values).

@@ -29,6 +29,7 @@ import (
 	"ceal/internal/collector"
 	"ceal/internal/emews"
 	"ceal/internal/ml/xgb"
+	"ceal/internal/score"
 )
 
 // Evaluator measures configurations. Implementations may run the cluster
@@ -91,6 +92,13 @@ type Problem struct {
 	Surrogate xgb.Params
 	// Runner executes measurement batches; nil means a serial runner.
 	Runner *emews.Runner
+	// Workers is the scoring parallelism: batch model inference (pool
+	// prediction, candidate ranking, recall checks) fans across this many
+	// goroutines with deterministic, index-ordered results — any width
+	// produces bitwise-identical scores. 0 falls back to Runner.Workers so
+	// one -workers setting governs both measurement and scoring; values
+	// below 2 score serially.
+	Workers int
 	// Ctx optionally cancels a tuning run: every measurement batch is
 	// dispatched under this context, so cancelling it aborts the run
 	// promptly with Ctx.Err(). nil means context.Background().
@@ -103,6 +111,14 @@ type Problem struct {
 	// algorithms or iterations are never re-simulated).
 	colMu sync.Mutex
 	col   *collector.Collector
+
+	// eng memoizes the scoring engine; poolMat caches the featurized pool
+	// matrix for the workflow featurizer, shared by every algorithm run on
+	// this problem so each configuration is featurized once per run rather
+	// than once per scoring call per iteration.
+	engOnce sync.Once
+	eng     *score.Engine
+	poolMat score.Matrix
 }
 
 // Collector returns the problem's measurement collector, constructing it
@@ -145,6 +161,51 @@ func (p *Problem) runner() *emews.Runner {
 		return emews.DefaultRunner()
 	}
 	return p.Runner
+}
+
+// engine returns the problem's scoring engine, constructed on first use
+// from Workers (falling back to Runner.Workers).
+func (p *Problem) engine() *score.Engine {
+	p.engOnce.Do(func() {
+		w := p.Workers
+		if w == 0 && p.Runner != nil {
+			w = p.Runner.Workers
+		}
+		p.eng = score.New(w)
+	})
+	return p.eng
+}
+
+// poolFeatures returns the cached featurized pool matrix, row-aligned
+// with Pool.
+func (p *Problem) poolFeatures() [][]float64 {
+	return p.poolMat.Rows(p.engine(), p.Pool, p.features)
+}
+
+// poolScorer scores a candidate batch in one call: cfgs are pool
+// configurations and idxs their indices into Problem.Pool, so scorers
+// backed by the cached feature matrix can look rows up instead of
+// re-featurizing. Scorers must fill index-ordered output (score.Engine's
+// contract), which keeps rankings identical for any worker count.
+type poolScorer func(cfgs []cfgspace.Config, idxs []int) []float64
+
+// scoreByConfig lifts a per-configuration scorer to a poolScorer on the
+// problem's engine. The scorer must be safe for concurrent read-only
+// calls (all model Predict paths in this repository are).
+func (p *Problem) scoreByConfig(score func(cfgspace.Config) float64) poolScorer {
+	eng := p.engine()
+	return func(cfgs []cfgspace.Config, _ []int) []float64 {
+		return eng.Floats(len(cfgs), func(i int) float64 { return score(cfgs[i]) })
+	}
+}
+
+// lowFiScorer ranks candidates with the white-box model on the problem's
+// scoring engine.
+func (p *Problem) lowFiScorer(lf *acm.LowFidelity) poolScorer {
+	eng := p.engine()
+	return func(cfgs []cfgspace.Config, _ []int) []float64 {
+		return lf.ScoreBatchOn(eng, cfgs)
+	}
 }
 
 // dims returns each component's parameter count.
@@ -320,21 +381,28 @@ func (t *poolTracker) takeRandom(n int, rng *rand.Rand) []cfgspace.Config {
 }
 
 // takeTop removes the n remaining configurations with the best (lowest)
-// scores under score and returns them.
-func (t *poolTracker) takeTop(n int, score func(cfgspace.Config) float64) []cfgspace.Config {
+// scores under the batch scorer and returns them. Scoring the whole
+// remaining set in one call lets model inference fan across the scoring
+// engine and reuse the cached feature matrix.
+func (t *poolTracker) takeTop(n int, score poolScorer) []cfgspace.Config {
 	if n > len(t.remaining) {
 		n = len(t.remaining)
 	}
 	if n <= 0 {
 		return nil
 	}
+	cfgs := make([]cfgspace.Config, len(t.remaining))
+	for i, idx := range t.remaining {
+		cfgs[i] = t.p.Pool[idx]
+	}
+	vals := score(cfgs, t.remaining)
 	type scored struct {
 		pos int // position in remaining
 		val float64
 	}
 	ss := make([]scored, len(t.remaining))
-	for i, idx := range t.remaining {
-		ss[i] = scored{pos: i, val: score(t.p.Pool[idx])}
+	for i := range t.remaining {
+		ss[i] = scored{pos: i, val: vals[i]}
 	}
 	// Sort by score with position tie-break (deterministic, matching
 	// metrics.TopIndices) and take the n best — O(n log n) against the old

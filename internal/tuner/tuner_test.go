@@ -240,10 +240,10 @@ func TestPoolTrackerTakeTop(t *testing.T) {
 	p := synthProblem(13, 50)
 	tr := newPoolTracker(p)
 	truth := trueValues(p)
-	score := func(cfg cfgspace.Config) float64 {
+	score := p.scoreByConfig(func(cfg cfgspace.Config) float64 {
 		v, _ := p.Eval.MeasureWorkflow(cfg)
 		return v
-	}
+	})
 	got := tr.takeTop(3, score)
 	want := metrics.TopIndices(3, truth)
 	for i := range got {
