@@ -39,6 +39,7 @@ import (
 	"ceal/internal/collector"
 	"ceal/internal/paperexp"
 	"ceal/internal/tuner"
+	"ceal/internal/tuner/events"
 	"ceal/internal/workflow"
 )
 
@@ -91,6 +92,20 @@ type (
 	// Evaluator measures configurations (implemented by LiveEvaluator and
 	// the experiment harness's ground-truth lookup).
 	Evaluator = collector.Evaluator
+	// Event is one step of a tuning run's structured trace (see the
+	// concrete types in internal/tuner/events: RunStarted, BatchSelected,
+	// BatchMeasured, ModelTrained, SwitchDecision, BiasEscape,
+	// IterationDone, RunFinished).
+	Event = events.Event
+	// Observer receives a tuning run's event stream. Attach one via
+	// Problem.Observer; nil (the default) is a zero-cost no-op and never
+	// changes results.
+	Observer = events.Observer
+	// Recorder is an Observer that retains every event in arrival order.
+	Recorder = events.Recorder
+	// JSONLWriter is an Observer that streams events as JSON lines
+	// (cmd/ceal-tune's -trace format).
+	JSONLWriter = events.JSONLWriter
 )
 
 // Space construction helpers for custom workflows.
@@ -106,6 +121,13 @@ var (
 	NodesFor = cluster.NodesFor
 	// RunSolo executes a single component alone against the file system.
 	RunSolo = workflow.RunSolo
+	// NewRecorder returns an empty event Recorder.
+	NewRecorder = events.NewRecorder
+	// NewJSONLWriter returns an event observer that writes one JSON object
+	// per event to w.
+	NewJSONLWriter = events.NewJSONLWriter
+	// MultiObserver fans one event stream out to several observers.
+	MultiObserver = events.Multi
 )
 
 // Optimization objectives.

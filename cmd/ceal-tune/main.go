@@ -32,6 +32,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		workers = flag.Int("workers", 1, "parallel measurement and pool-scoring width")
 		timeout = flag.Duration("timeout", 0, "abort tuning after this long (0: no limit)")
+		trace   = flag.String("trace", "", "stream run events as JSONL to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 
@@ -64,12 +65,34 @@ func main() {
 	problem.Runner = &emews.Runner{Workers: *workers, MaxRetries: 3}
 	problem.Workers = *workers
 	problem.Ctx = ctx
+	var traceSink *ceal.JSONLWriter
+	if *trace != "" {
+		w := os.Stdout
+		if *trace != "-" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		traceSink = ceal.NewJSONLWriter(w)
+		problem.Observer = traceSink
+	}
 	start := time.Now()
 	res, err := alg.Tune(problem, *budget)
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	if traceSink != nil {
+		if err := traceSink.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "ceal-tune: trace write:", err)
+		}
+		if *trace != "-" {
+			fmt.Printf("run-event trace written to %s\n", *trace)
+		}
+	}
 
 	// Verify the recommendation and the expert config through the problem's
 	// collector: res.Best was already measured during tuning, so it comes

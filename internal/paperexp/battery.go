@@ -8,6 +8,7 @@ import (
 	"ceal/internal/metrics"
 	"ceal/internal/swift"
 	"ceal/internal/tuner"
+	"ceal/internal/tuner/events"
 )
 
 // RunSpec is one cell of an experiment: a benchmark ground truth, an
@@ -29,6 +30,13 @@ type RunSpec struct {
 	// Ctx optionally cancels the battery: it is threaded into every
 	// replication's Problem, aborting in-progress measurement batches.
 	Ctx context.Context
+	// Observe optionally supplies a run-event observer per (replication,
+	// algorithm) tuning run — the hook convergence-curve experiments use to
+	// record per-iteration best-so-far trajectories. It may return nil to
+	// skip a run. Replications run concurrently under Workers > 1, so the
+	// hook itself must be safe for concurrent calls; each returned observer
+	// is only used by its own run.
+	Observe func(rep int, alg string) events.Observer
 }
 
 // repMetrics are one algorithm's metrics from a single replication.
@@ -123,6 +131,10 @@ func RunBattery(spec RunSpec) ([]*AlgStats, error) {
 		problem.Workers = spec.ScoreWorkers
 		out := make([]repMetrics, len(spec.Algorithms))
 		for i, alg := range spec.Algorithms {
+			problem.Observer = nil
+			if spec.Observe != nil {
+				problem.Observer = spec.Observe(rep, alg.Name())
+			}
 			res, err := alg.Tune(problem, spec.Budget)
 			if err != nil {
 				return nil, fmt.Errorf("paperexp: %s on %s (rep %d): %w", alg.Name(), problem.Name, rep, err)

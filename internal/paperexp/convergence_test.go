@@ -1,0 +1,46 @@
+package paperexp
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestConvergenceExperiment checks the trace-driven convergence curves:
+// iterations are enumerated from the seed batch, every cell is a
+// normalized best-so-far (>= 1, since 1.00 is the pool optimum), and each
+// algorithm's mean trajectory never regresses as iterations accumulate.
+func TestConvergenceExperiment(t *testing.T) {
+	gts := map[string]*GroundTruth{"LV": tinyGT(t, "LV")}
+	tables, err := runConvergence(gts, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("%d tables, want 1", len(tables))
+	}
+	tab := tables[0]
+	if len(tab.Rows) < 2 {
+		t.Fatalf("only %d iterations recorded; curves need at least seed + one refinement", len(tab.Rows))
+	}
+	prev := make([]float64, len(tab.Header)-1)
+	for r, row := range tab.Rows {
+		if it, err := strconv.Atoi(row[0]); err != nil || it != r {
+			t.Fatalf("row %d: iteration column %q, want %d", r, row[0], r)
+		}
+		for c, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("row %d %s: unparseable cell %q", r, tab.Header[c+1], cell)
+			}
+			if v < 1 {
+				t.Errorf("row %d %s: best-so-far %v beats the pool optimum", r, tab.Header[c+1], v)
+			}
+			// Best-so-far is a running minimum, so per-rep curves are
+			// non-increasing and so is their mean (f2 rounding gives slack).
+			if r > 0 && v > prev[c]+0.005 {
+				t.Errorf("%s regressed from %v to %v at iteration %d", tab.Header[c+1], prev[c], v, r)
+			}
+			prev[c] = v
+		}
+	}
+}

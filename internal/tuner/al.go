@@ -1,7 +1,7 @@
 package tuner
 
 import (
-	"math/rand/v2"
+	"ceal/internal/cfgspace"
 )
 
 // ALOptions configures batch active learning.
@@ -16,6 +16,21 @@ type ALOptions struct {
 
 // DefaultALOptions mirrors the usual batch-AL setup of [6, 29].
 func DefaultALOptions() ALOptions { return ALOptions{InitFrac: 0.3, Iterations: 5} }
+
+// withDefaults fills unset (non-positive) fields independently, so a
+// caller setting only InitFrac still gets the default Iterations and vice
+// versa — replacing the whole struct would silently discard the fields the
+// caller did set.
+func (o ALOptions) withDefaults() ALOptions {
+	def := DefaultALOptions()
+	if o.InitFrac <= 0 {
+		o.InitFrac = def.InitFrac
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = def.Iterations
+	}
+	return o
+}
 
 // AL is batch active learning (§7.3): an initial random batch trains the
 // surrogate, then each iteration measures the surrogate's current top
@@ -32,50 +47,75 @@ func (*AL) Name() string { return "AL" }
 
 // Tune implements Algorithm.
 func (a *AL) Tune(p *Problem, budget int) (*Result, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
+	opts := a.Opts.withDefaults()
+	s := &alStrategy{opts: opts, model: newSurrogate(p)}
+	loop := &Loop{
+		Algorithm:  "AL",
+		Salt:       saltAL,
+		Iterations: opts.Iterations,
+		Seeder:     s,
+		Selector:   s,
+		Modeler:    s,
 	}
-	opts := a.Opts
-	if opts.Iterations <= 0 {
-		opts = DefaultALOptions()
-	}
-	rng := rand.New(rand.NewPCG(p.Seed, saltAL))
-	tracker := newPoolTracker(p)
+	return loop.Run(p, budget)
+}
 
-	m0 := int(opts.InitFrac*float64(budget) + 0.5)
+// alStrategy: random seed batch, then per-iteration top surrogate picks.
+type alStrategy struct {
+	opts  ALOptions
+	model *Surrogate
+}
+
+func (s *alStrategy) SeedBatch(st *State) ([]cfgspace.Config, error) {
+	m0 := initialBatchSize(s.opts.InitFrac, st.Budget)
+	return st.Tracker.takeRandom(m0, st.Rng), nil
+}
+
+func (s *alStrategy) SelectBatch(st *State) ([]cfgspace.Config, error) {
+	n := evenBatchSize(st, s.opts.Iterations)
+	if n == 0 {
+		return nil, nil
+	}
+	return st.Tracker.takeTop(n, s.model.poolScorer(st.Problem)), nil
+}
+
+func (s *alStrategy) Fit(st *State, _ []Sample) (bool, error) {
+	return true, s.model.Train(st.Samples)
+}
+
+func (s *alStrategy) FinalScores(st *State) ([]float64, error) {
+	return s.model.PredictPool(st.Problem.Pool), nil
+}
+
+func (s *alStrategy) FinalImportance(st *State) []float64 {
+	p := st.Problem
+	return s.model.Importance(len(p.features(p.Pool[0])))
+}
+
+// initialBatchSize is the shared m0 rule: frac of the budget, at least 2,
+// at most the budget.
+func initialBatchSize(frac float64, budget int) int {
+	m0 := int(frac*float64(budget) + 0.5)
 	if m0 < 2 {
 		m0 = 2
 	}
 	if m0 > budget {
 		m0 = budget
 	}
-	samples, err := measureBatch(p, tracker.takeRandom(m0, rng))
-	if err != nil {
-		return nil, err
-	}
-	model := newSurrogate(p)
-	if err := model.Train(samples); err != nil {
-		return nil, err
-	}
+	return m0
+}
 
-	remaining := budget - len(samples)
-	for i := 0; i < opts.Iterations && remaining > 0 && tracker.left() > 0; i++ {
-		batch := remaining / (opts.Iterations - i)
-		if batch < 1 {
-			batch = 1
-		}
-		cfgs := tracker.takeTop(batch, model.poolScorer(p))
-		newSamples, err := measureBatch(p, cfgs)
-		if err != nil {
-			return nil, err
-		}
-		samples = append(samples, newSamples...)
-		remaining -= len(newSamples)
-		if err := model.Train(samples); err != nil {
-			return nil, err
-		}
+// evenBatchSize spreads the remaining budget evenly over the remaining
+// iterations (the AL-family batch rule). Zero means the run is done:
+// budget spent or pool exhausted.
+func evenBatchSize(st *State, iterations int) int {
+	remaining := st.Remaining()
+	if remaining <= 0 || st.Tracker.left() == 0 {
+		return 0
 	}
-	res := finish(p, model.PredictPool(p.Pool), samples, nil, -1)
-	res.Importance = model.Importance(len(p.features(p.Pool[0])))
-	return res, nil
+	n := remaining / (iterations - (st.Iter - 1))
+	if n < 1 {
+		n = 1
+	}
+	return n
 }

@@ -1,8 +1,6 @@
 package tuner
 
 import (
-	"math/rand/v2"
-
 	"ceal/internal/cfgspace"
 )
 
@@ -18,6 +16,23 @@ type ALpHOptions struct {
 // DefaultALpHOptions mirrors the AL defaults.
 func DefaultALpHOptions() ALpHOptions {
 	return ALpHOptions{InitFrac: 0.3, Iterations: 5, ComponentFrac: 0.5}
+}
+
+// withDefaults fills unset fields independently. ComponentFrac zero is
+// meaningful (no standalone component runs — only valid with history), so
+// only a negative value selects the default there.
+func (o ALpHOptions) withDefaults() ALpHOptions {
+	def := DefaultALpHOptions()
+	if o.InitFrac <= 0 {
+		o.InitFrac = def.InitFrac
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = def.Iterations
+	}
+	if o.ComponentFrac < 0 {
+		o.ComponentFrac = def.ComponentFrac
+	}
+	return o
 }
 
 // ALpH is the black-box component-combining variant of §4: instead of
@@ -38,18 +53,32 @@ func (*ALpH) Name() string { return "ALpH" }
 
 // Tune implements Algorithm.
 func (a *ALpH) Tune(p *Problem, budget int) (*Result, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
+	opts := a.Opts.withDefaults()
+	s := &alphStrategy{opts: opts}
+	loop := &Loop{
+		Algorithm:  "ALpH",
+		Salt:       saltALpH,
+		Iterations: opts.Iterations,
+		Seeder:     s,
+		Selector:   s,
+		Modeler:    s,
 	}
-	opts := a.Opts
-	if opts.Iterations <= 0 {
-		opts = DefaultALpHOptions()
-	}
-	rng := rand.New(rand.NewPCG(p.Seed, saltALpH))
+	return loop.Run(p, budget)
+}
 
+// alphStrategy is the AL loop over the learned combining model M'_0.
+type alphStrategy struct {
+	opts  ALpHOptions
+	feats func(cfgspace.Config) []float64
+	model *Surrogate
+}
+
+func (s *alphStrategy) Bootstrap(st *State) ([][]Sample, error) {
+	p := st.Problem
+	budget := st.Budget
 	mR := 0
 	if !p.hasHistory() {
-		mR = int(opts.ComponentFrac*float64(budget) + 0.5)
+		mR = int(s.opts.ComponentFrac*float64(budget) + 0.5)
 		if mR >= budget {
 			mR = budget - 2
 		}
@@ -57,14 +86,15 @@ func (a *ALpH) Tune(p *Problem, budget int) (*Result, error) {
 			mR = 0
 		}
 	}
-	cm, err := trainComponentModels(p, mR, rng)
+	cm, err := trainComponentModels(p, mR, st.Rng)
 	if err != nil {
 		return nil, err
 	}
+	st.Budget = budget - mR
 
 	// M'_0's features: raw configuration plus each component model's
 	// prediction for its sub-configuration.
-	feats := func(cfg cfgspace.Config) []float64 {
+	s.feats = func(cfg cfgspace.Config) []float64 {
 		x := p.features(cfg)
 		for _, part := range cm.lowFi.Parts {
 			var sub []float64
@@ -75,44 +105,31 @@ func (a *ALpH) Tune(p *Problem, budget int) (*Result, error) {
 		}
 		return x
 	}
-	model := newFeatureSurrogate(p, feats)
+	s.model = newFeatureSurrogate(p, s.feats)
+	return cm.newSamples, nil
+}
 
-	workBudget := budget - mR
-	tracker := newPoolTracker(p)
-	m0 := int(opts.InitFrac*float64(workBudget) + 0.5)
-	if m0 < 2 {
-		m0 = 2
-	}
-	if m0 > workBudget {
-		m0 = workBudget
-	}
-	samples, err := measureBatch(p, tracker.takeRandom(m0, rng))
-	if err != nil {
-		return nil, err
-	}
-	if err := model.Train(samples); err != nil {
-		return nil, err
-	}
+func (s *alphStrategy) SeedBatch(st *State) ([]cfgspace.Config, error) {
+	m0 := initialBatchSize(s.opts.InitFrac, st.Budget)
+	return st.Tracker.takeRandom(m0, st.Rng), nil
+}
 
-	for i := 0; i < opts.Iterations; i++ {
-		remaining := workBudget - len(samples)
-		if remaining <= 0 || tracker.left() == 0 {
-			break
-		}
-		batchSize := remaining / (opts.Iterations - i)
-		if batchSize < 1 {
-			batchSize = 1
-		}
-		batch, err := measureBatch(p, tracker.takeTop(batchSize, model.poolScorer(p)))
-		if err != nil {
-			return nil, err
-		}
-		samples = append(samples, batch...)
-		if err := model.Train(samples); err != nil {
-			return nil, err
-		}
+func (s *alphStrategy) SelectBatch(st *State) ([]cfgspace.Config, error) {
+	n := evenBatchSize(st, s.opts.Iterations)
+	if n == 0 {
+		return nil, nil
 	}
-	res := finish(p, model.PredictPool(p.Pool), samples, cm.newSamples, -1)
-	res.Importance = model.Importance(len(feats(p.Pool[0])))
-	return res, nil
+	return st.Tracker.takeTop(n, s.model.poolScorer(st.Problem)), nil
+}
+
+func (s *alphStrategy) Fit(st *State, _ []Sample) (bool, error) {
+	return true, s.model.Train(st.Samples)
+}
+
+func (s *alphStrategy) FinalScores(st *State) ([]float64, error) {
+	return s.model.PredictPool(st.Problem.Pool), nil
+}
+
+func (s *alphStrategy) FinalImportance(st *State) []float64 {
+	return s.model.Importance(len(s.feats(st.Problem.Pool[0])))
 }

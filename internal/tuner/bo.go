@@ -2,7 +2,6 @@ package tuner
 
 import (
 	"math"
-	"math/rand/v2"
 
 	"ceal/internal/cfgspace"
 	"ceal/internal/ml/forest"
@@ -18,6 +17,22 @@ type BOOptions struct {
 // DefaultBOOptions returns sensible small-budget settings.
 func DefaultBOOptions() BOOptions {
 	return BOOptions{InitFrac: 0.3, Iterations: 5, Forest: forest.DefaultParams()}
+}
+
+// withDefaults fills unset fields independently (a zero-value Forest is
+// detected by its ensemble size).
+func (o BOOptions) withDefaults() BOOptions {
+	def := DefaultBOOptions()
+	if o.InitFrac <= 0 {
+		o.InitFrac = def.InitFrac
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = def.Iterations
+	}
+	if o.Forest.Trees <= 0 {
+		o.Forest = def.Forest
+	}
+	return o
 }
 
 // BO is the §9 future-work extension implemented as an ablation: batch
@@ -36,84 +51,82 @@ func (*BO) Name() string { return "BO" }
 
 // Tune implements Algorithm.
 func (b *BO) Tune(p *Problem, budget int) (*Result, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
+	opts := b.Opts.withDefaults()
+	s := &boStrategy{opts: opts}
+	loop := &Loop{
+		Algorithm:  "BO",
+		Salt:       saltBO,
+		Iterations: opts.Iterations,
+		Seeder:     s,
+		Selector:   s,
+		Modeler:    s,
 	}
-	opts := b.Opts
-	if opts.Iterations <= 0 {
-		opts = DefaultBOOptions()
-	}
-	rng := rand.New(rand.NewPCG(p.Seed, saltBO))
-	tracker := newPoolTracker(p)
+	return loop.Run(p, budget)
+}
 
-	m0 := int(opts.InitFrac*float64(budget) + 0.5)
-	if m0 < 2 {
-		m0 = 2
+// boStrategy: random seeding, forest surrogate, EI acquisition.
+type boStrategy struct {
+	opts    BOOptions
+	f       *forest.Forest
+	bestLog float64
+}
+
+func (s *boStrategy) ModelName() string { return "forest" }
+
+func (s *boStrategy) SeedBatch(st *State) ([]cfgspace.Config, error) {
+	m0 := initialBatchSize(s.opts.InitFrac, st.Budget)
+	return st.Tracker.takeRandom(m0, st.Rng), nil
+}
+
+func (s *boStrategy) SelectBatch(st *State) ([]cfgspace.Config, error) {
+	n := evenBatchSize(st, s.opts.Iterations)
+	if n == 0 {
+		return nil, nil
 	}
-	if m0 > budget {
-		m0 = budget
+	p := st.Problem
+	// Acquire by negative EI so takeTop (which minimizes) picks the
+	// highest expected improvement. Candidate features come from the
+	// problem's cached pool matrix, looked up by pool index.
+	acq := func(_ []cfgspace.Config, idxs []int) []float64 {
+		X := p.poolFeatures()
+		return p.engine().Floats(len(idxs), func(i int) float64 {
+			mean, std := s.f.PredictWithStd(X[idxs[i]])
+			return -expectedImprovement(s.bestLog, mean, std)
+		})
 	}
-	samples, err := measureBatch(p, tracker.takeRandom(m0, rng))
+	return st.Tracker.takeTop(n, acq), nil
+}
+
+func (s *boStrategy) Fit(st *State, _ []Sample) (bool, error) {
+	p := st.Problem
+	samples := st.Samples
+	X := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	bestLog := math.Inf(1)
+	for i, smp := range samples {
+		X[i] = p.features(smp.Cfg)
+		y[i] = logTarget(smp.Value)
+		if y[i] < bestLog {
+			bestLog = y[i]
+		}
+	}
+	params := s.opts.Forest
+	params.Seed = p.Seed ^ uint64(len(samples))
+	f, err := forest.Fit(X, y, params)
 	if err != nil {
-		return nil, err
+		return false, err
 	}
+	s.f, s.bestLog = f, bestLog
+	return true, nil
+}
 
-	fit := func() (*forest.Forest, float64, error) {
-		X := make([][]float64, len(samples))
-		y := make([]float64, len(samples))
-		bestLog := math.Inf(1)
-		for i, s := range samples {
-			X[i] = p.features(s.Cfg)
-			y[i] = logTarget(s.Value)
-			if y[i] < bestLog {
-				bestLog = y[i]
-			}
-		}
-		params := opts.Forest
-		params.Seed = p.Seed ^ uint64(len(samples))
-		f, err := forest.Fit(X, y, params)
-		return f, bestLog, err
-	}
-
-	f, bestLog, err := fit()
-	if err != nil {
-		return nil, err
-	}
-	for i := 0; i < opts.Iterations; i++ {
-		remaining := budget - len(samples)
-		if remaining <= 0 || tracker.left() == 0 {
-			break
-		}
-		batchSize := remaining / (opts.Iterations - i)
-		if batchSize < 1 {
-			batchSize = 1
-		}
-		// Acquire by negative EI so takeTop (which minimizes) picks the
-		// highest expected improvement. Candidate features come from the
-		// problem's cached pool matrix, looked up by pool index.
-		acq := func(_ []cfgspace.Config, idxs []int) []float64 {
-			X := p.poolFeatures()
-			return p.engine().Floats(len(idxs), func(i int) float64 {
-				mean, std := f.PredictWithStd(X[idxs[i]])
-				return -expectedImprovement(bestLog, mean, std)
-			})
-		}
-		batch, err := measureBatch(p, tracker.takeTop(batchSize, acq))
-		if err != nil {
-			return nil, err
-		}
-		samples = append(samples, batch...)
-		if f, bestLog, err = fit(); err != nil {
-			return nil, err
-		}
-	}
-
+func (s *boStrategy) FinalScores(st *State) ([]float64, error) {
+	p := st.Problem
 	X := p.poolFeatures()
-	scores := p.engine().Floats(len(p.Pool), func(i int) float64 {
-		mean, _ := f.PredictWithStd(X[i])
+	return p.engine().Floats(len(p.Pool), func(i int) float64 {
+		mean, _ := s.f.PredictWithStd(X[i])
 		return unlogTarget(mean)
-	})
-	return finish(p, scores, samples, nil, -1), nil
+	}), nil
 }
 
 // expectedImprovement is the one-sided EI of a minimization problem under a

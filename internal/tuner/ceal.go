@@ -3,8 +3,10 @@ package tuner
 import (
 	"math/rand/v2"
 
+	"ceal/internal/acm"
 	"ceal/internal/cfgspace"
 	"ceal/internal/metrics"
+	"ceal/internal/tuner/events"
 )
 
 // CEALOptions are Algorithm 1's hyper-parameters, expressed as budget
@@ -55,10 +57,13 @@ func (*CEAL) Name() string { return "CEAL" }
 // Tune implements Algorithm 1. The budget m covers workflow runs and (when
 // no history exists) the mR standalone component runs, which the paper
 // charges as mR workflow-run equivalents (§6).
+//
+// The Loop iteration index is offset by one from Algorithm 1's: the
+// pseudocode pre-selects the first batch before the loop and measures it at
+// i=1, which maps to the engine's seed batch (Iter 0), so engine iteration
+// it corresponds to Algorithm 1's i = it+1 and the engine runs I-1
+// refinement iterations.
 func (c *CEAL) Tune(p *Problem, budget int) (*Result, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
 	useHistory := p.hasHistory()
 	opts := DefaultCEALOptions(useHistory)
 	if c.Opts != nil {
@@ -67,13 +72,51 @@ func (c *CEAL) Tune(p *Problem, budget int) (*Result, error) {
 	if opts.Iterations < 1 {
 		opts.Iterations = 1
 	}
-	rng := rand.New(rand.NewPCG(p.Seed, saltCEAL))
+	s := &cealStrategy{opts: opts, useHistory: useHistory}
+	loop := &Loop{
+		Algorithm:  "CEAL",
+		Salt:       saltCEAL,
+		Iterations: opts.Iterations - 1,
+		Seeder:     s,
+		Selector:   s,
+		Modeler:    s,
+		Controller: s,
+	}
+	return loop.Run(p, budget)
+}
 
-	// Budget split (Alg. 1 line 8): mR to components, m0 reserved for
-	// random workflow samples, the rest to I batches of top picks.
+// cealStrategy carries Algorithm 1's Phase-2 state across loop callbacks.
+type cealStrategy struct {
+	opts       CEALOptions
+	useHistory bool
+
+	lowFi *acm.LowFidelity
+	high  *Surrogate
+
+	// Budget split (Alg. 1 line 8): m0 is the random reserve, m0used how
+	// much of it is spent, mB the per-iteration top-pick batch size.
+	m0     int
+	m0used int
+	mB     int
+
+	usingHigh bool
+	// holdout accumulates samples the current M_H has NOT been trained on;
+	// the switch detector compares the two models out-of-sample (otherwise
+	// M_H, evaluated on its own training data, would win trivially).
+	holdout []Sample
+	// pendingExtra queues the bias-escape random top-up (Alg. 1 lines
+	// 20–22) for the next batch, ahead of the model's top picks.
+	pendingExtra []cfgspace.Config
+}
+
+const minHoldout = 3
+
+func (s *cealStrategy) Bootstrap(st *State) ([][]Sample, error) {
+	p := st.Problem
+	budget := st.Budget
 	mR := 0
-	if !useHistory {
-		mR = int(opts.ComponentFrac*float64(budget) + 0.5)
+	if !s.useHistory {
+		mR = int(s.opts.ComponentFrac*float64(budget) + 0.5)
 		if mR >= budget {
 			mR = budget - 2
 		}
@@ -81,118 +124,125 @@ func (c *CEAL) Tune(p *Problem, budget int) (*Result, error) {
 			mR = 0
 		}
 	}
-	m0 := int(opts.RandomFrac*float64(budget) + 0.5)
-	if m0 < 2 {
-		m0 = 2
+	s.m0 = int(s.opts.RandomFrac*float64(budget) + 0.5)
+	if s.m0 < 2 {
+		s.m0 = 2
 	}
-	if m0 > budget-mR {
-		m0 = budget - mR
+	if s.m0 > budget-mR {
+		s.m0 = budget - mR
 	}
-	workBudget := budget - mR // workflow runs available
-	I := opts.Iterations
+	st.Budget = budget - mR // workflow runs available
 
 	// Phase 1: component models -> low-fidelity model M_L (lines 1–6).
-	cm, err := trainComponentModels(p, mR, rng)
+	cm, err := trainComponentModels(p, mR, st.Rng)
 	if err != nil {
 		return nil, err
 	}
-	lowFi := cm.lowFi
+	s.lowFi = cm.lowFi
+	s.high = newSurrogate(p) // M_H, line 12
+	return cm.newSamples, nil
+}
 
-	// Phase 2 (lines 7–27).
-	tracker := newPoolTracker(p)
-	m0used := m0 / 2
-	if m0used < 1 {
-		m0used = 1
+func (s *cealStrategy) SeedBatch(st *State) ([]cfgspace.Config, error) {
+	s.m0used = s.m0 / 2
+	if s.m0used < 1 {
+		s.m0used = 1
 	}
-	pending := tracker.takeRandom(m0used, rng) // line 7
+	pending := st.Tracker.takeRandom(s.m0used, st.Rng) // line 7
 
-	mB := (workBudget - m0) / I // line 8
-	if mB < 1 {
-		mB = 1
+	s.mB = (st.Budget - s.m0) / s.opts.Iterations // line 8
+	if s.mB < 1 {
+		s.mB = 1
 	}
-	pending = append(pending, tracker.takeTop(capBatch(mB, workBudget, len(pending), 0), p.lowFiScorer(lowFi))...) // lines 9–10
+	room := capBatch(s.mB, st.Budget, len(pending), 0)
+	return append(pending, st.Tracker.takeTop(room, st.Problem.lowFiScorer(s.lowFi))...), nil // lines 9–10
+}
 
-	high := newSurrogate(p) // M_H, line 12
-	usingHigh := false      // M = M_L, line 11
-	switchIter := -1
-	var measured []Sample
+// AfterMeasure is Algorithm 1's lines 16–24, run right after each batch is
+// measured: the out-of-sample switch check and the bias-escape top-up. The
+// current pseudocode iteration is i = st.Iter + 1.
+func (s *cealStrategy) AfterMeasure(st *State, batch []Sample) {
+	if s.usingHigh || !s.high.Trained() {
+		return
+	}
+	i := st.Iter + 1
+	I := s.opts.Iterations
+	p := st.Problem
 
-	// holdout accumulates samples the current M_H has NOT been trained on;
-	// the switch detector compares the two models out-of-sample (otherwise
-	// M_H, evaluated on its own training data, would win trivially).
-	var holdout []Sample
-	const minHoldout = 3
+	s.holdout = append(s.holdout, batch...)
+	if len(s.holdout) < minHoldout {
+		return
+	}
+	truth := make([]float64, len(s.holdout))
+	cfgs := make([]cfgspace.Config, len(s.holdout))
+	for k, smp := range s.holdout {
+		truth[k] = smp.Value
+		cfgs[k] = smp.Cfg
+	}
+	highScores := s.high.PredictBatch(cfgs)
+	lowScores := s.lowFi.ScoreBatchOn(p.engine(), cfgs)
+	sH := metrics.RecallSum(highScores, truth) // line 18
+	sL := metrics.RecallSum(lowScores, truth)  // line 19
 
-	for i := 1; i <= I; i++ { // line 13
-		batch, err := measureBatch(p, pending) // line 14
-		if err != nil {
-			return nil, err
-		}
-		measured = append(measured, batch...)
-		pending = nil // line 15
-
-		if !usingHigh && high.Trained() { // lines 16–24
-			holdout = append(holdout, batch...)
-			if len(holdout) >= minHoldout {
-				truth := make([]float64, len(holdout))
-				cfgs := make([]cfgspace.Config, len(holdout))
-				for k, s := range holdout {
-					truth[k] = s.Value
-					cfgs[k] = s.Cfg
-				}
-				highScores := high.PredictBatch(cfgs)
-				lowScores := lowFi.ScoreBatchOn(p.engine(), cfgs)
-				sH := metrics.RecallSum(highScores, truth) // line 18
-				sL := metrics.RecallSum(lowScores, truth)  // line 19
-
-				// Bias escape (lines 20–22): if M_H's three favourite
-				// held-out configurations are not all within the
-				// better-performing half, the sampling so far is suspect —
-				// spend part of the random reserve.
-				if !opts.DisableBiasEscape && m0used < m0 && biased(highScores, truth) {
-					add := (m0 - m0used) / 2
-					if add > 0 && len(measured)+add <= workBudget {
-						pending = append(pending, tracker.takeRandom(add, rng)...)
-						m0used += add
-					}
-				}
-				if !opts.DisableSwitch && sH >= sL { // lines 23–24
-					usingHigh = true
-					switchIter = i - 1
-					if I > i {
-						mB += (m0 - m0used) / (I - i)
-					}
-				}
-				holdout = holdout[:0]
+	// Bias escape (lines 20–22): if M_H's three favourite held-out
+	// configurations are not all within the better-performing half, the
+	// sampling so far is suspect — spend part of the random reserve.
+	if !s.opts.DisableBiasEscape && s.m0used < s.m0 && biased(highScores, truth) {
+		add := (s.m0 - s.m0used) / 2
+		if add > 0 && len(st.Samples)+add <= st.Budget {
+			s.pendingExtra = append(s.pendingExtra, st.Tracker.takeRandom(add, st.Rng)...)
+			s.m0used += add
+			if st.Observing() {
+				st.Emit(&events.BiasEscape{Iteration: st.Iter, Added: add})
 			}
 		}
-
-		if err := high.Train(measured); err != nil { // line 25
-			return nil, err
-		}
-		if i == I {
-			break
-		}
-		scorer := p.lowFiScorer(lowFi) // line 26
-		if usingHigh {
-			scorer = high.poolScorer(p)
-		}
-		want := mB
-		if i == I-1 {
-			// Final selection: flush whatever workflow budget remains
-			// (integer division of mB would otherwise strand runs).
-			want = workBudget
-		}
-		room := capBatch(want, workBudget, len(measured), len(pending))
-		pending = append(pending, tracker.takeTop(room, scorer)...) // line 27
-		if len(pending) == 0 {
-			break // budget exhausted
+	}
+	switched := !s.opts.DisableSwitch && sH >= sL
+	if st.Observing() {
+		st.Emit(&events.SwitchDecision{Iteration: st.Iter, HighRecall: sH, LowRecall: sL, Switched: switched})
+	}
+	if switched { // lines 23–24
+		s.usingHigh = true
+		st.SwitchIter = i - 1
+		if I > i {
+			s.mB += (s.m0 - s.m0used) / (I - i)
 		}
 	}
+	s.holdout = s.holdout[:0]
+}
 
-	res := finish(p, high.PredictPool(p.Pool), measured, cm.newSamples, switchIter)
-	res.Importance = high.Importance(len(p.features(p.Pool[0])))
-	return res, nil
+// SelectBatch is Algorithm 1's lines 26–27 at the end of pseudocode
+// iteration i = st.Iter: rank the remaining pool with whichever model is
+// trusted and top up with any queued bias-escape randoms.
+func (s *cealStrategy) SelectBatch(st *State) ([]cfgspace.Config, error) {
+	p := st.Problem
+	scorer := p.lowFiScorer(s.lowFi) // line 26
+	if s.usingHigh {
+		scorer = s.high.poolScorer(p)
+	}
+	want := s.mB
+	if st.Iter == s.opts.Iterations-1 {
+		// Final selection: flush whatever workflow budget remains
+		// (integer division of mB would otherwise strand runs).
+		want = st.Budget
+	}
+	room := capBatch(want, st.Budget, len(st.Samples), len(s.pendingExtra))
+	pending := append(s.pendingExtra, st.Tracker.takeTop(room, scorer)...) // line 27
+	s.pendingExtra = nil
+	return pending, nil
+}
+
+func (s *cealStrategy) Fit(st *State, _ []Sample) (bool, error) {
+	return true, s.high.Train(st.Samples) // line 25
+}
+
+func (s *cealStrategy) FinalScores(st *State) ([]float64, error) {
+	return s.high.PredictPool(st.Problem.Pool), nil
+}
+
+func (s *cealStrategy) FinalImportance(st *State) []float64 {
+	p := st.Problem
+	return s.high.Importance(len(p.features(p.Pool[0])))
 }
 
 // capBatch limits a batch to the workflow-run budget still available.

@@ -146,7 +146,7 @@ func TestFinishFallbackWithoutSamples(t *testing.T) {
 	for i := range scores {
 		scores[i] = float64(10 - i)
 	}
-	res := finish(p, scores, nil, nil, -1)
+	res := finish(p, scores, nil, nil, -1, nil)
 	// Lowest score is the last pool entry.
 	if res.Best.Key() != p.Pool[len(p.Pool)-1].Key() {
 		t.Fatalf("fallback best = %v", res.Best)

@@ -3,6 +3,8 @@ package tuner
 import (
 	"math"
 	"testing"
+
+	"ceal/internal/tuner/events"
 )
 
 // TestResultsIdenticalAcrossWorkerCounts is the scoring engine's
@@ -19,18 +21,28 @@ func TestResultsIdenticalAcrossWorkerCounts(t *testing.T) {
 		budget = 24
 	)
 	for _, alg := range allAlgorithms() {
-		run := func(workers int) *Result {
+		// observed=true attaches a recording observer: the trace must be a
+		// pure read-only tap, so results stay byte-identical with and
+		// without it (and across worker counts either way).
+		run := func(workers int, observed bool) *Result {
 			p := synthProblem(seed, pool)
 			p.Workers = workers
+			if observed {
+				p.Observer = events.NewRecorder()
+			}
 			res, err := alg.Tune(p, budget)
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", alg.Name(), workers, err)
 			}
 			return res
 		}
-		ref := run(1)
-		for _, w := range []int{4, 8} {
-			got := run(w)
+		ref := run(1, false)
+		for _, variant := range []struct {
+			workers  int
+			observed bool
+		}{{4, false}, {8, false}, {1, true}, {4, true}} {
+			w := variant.workers
+			got := run(w, variant.observed)
 			if got.Best.Key() != ref.Best.Key() {
 				t.Errorf("%s workers=%d: Best %v, serial Best %v", alg.Name(), w, got.Best, ref.Best)
 			}

@@ -2,8 +2,8 @@ package tuner
 
 import (
 	"math"
-	"math/rand/v2"
 
+	"ceal/internal/acm"
 	"ceal/internal/cfgspace"
 	"ceal/internal/metrics"
 	"ceal/internal/ml/forest"
@@ -28,6 +28,22 @@ func DefaultHyBoostOptions() HyBoostOptions {
 	return HyBoostOptions{InitFrac: 0.3, Iterations: 5, ComponentFrac: 0.5}
 }
 
+// withDefaults fills unset fields independently (ComponentFrac zero is
+// meaningful with history, so only negatives select the default).
+func (o HyBoostOptions) withDefaults() HyBoostOptions {
+	def := DefaultHyBoostOptions()
+	if o.InitFrac <= 0 {
+		o.InitFrac = def.InitFrac
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = def.Iterations
+	}
+	if o.ComponentFrac < 0 {
+		o.ComponentFrac = def.ComponentFrac
+	}
+	return o
+}
+
 // HyBoost combines the analytical model with ML by learning the AM's
 // residual errors (§8.2): prediction = ACM(c) corrected by a boosted-tree
 // model of log(y/ACM(c)). Sample selection is active learning over the
@@ -44,18 +60,34 @@ func (*HyBoost) Name() string { return "HyBoost" }
 
 // Tune implements Algorithm.
 func (hb *HyBoost) Tune(p *Problem, budget int) (*Result, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
+	opts := hb.Opts.withDefaults()
+	s := &hyBoostStrategy{opts: opts}
+	loop := &Loop{
+		Algorithm:  "HyBoost",
+		Salt:       saltENS,
+		Iterations: opts.Iterations,
+		Seeder:     s,
+		Selector:   s,
+		Modeler:    s,
 	}
-	opts := hb.Opts
-	if opts.Iterations <= 0 {
-		opts = DefaultHyBoostOptions()
-	}
-	rng := rand.New(rand.NewPCG(p.Seed, saltENS))
+	return loop.Run(p, budget)
+}
 
+// hyBoostStrategy: the AL loop over ACM × learned residual correction.
+type hyBoostStrategy struct {
+	opts      HyBoostOptions
+	am        *acm.LowFidelity
+	corrector *Surrogate
+}
+
+func (s *hyBoostStrategy) ModelName() string { return "ensemble" }
+
+func (s *hyBoostStrategy) Bootstrap(st *State) ([][]Sample, error) {
+	p := st.Problem
+	budget := st.Budget
 	mR := 0
 	if !p.hasHistory() {
-		mR = int(opts.ComponentFrac*float64(budget) + 0.5)
+		mR = int(s.opts.ComponentFrac*float64(budget) + 0.5)
 		if mR >= budget {
 			mR = budget - 2
 		}
@@ -63,79 +95,63 @@ func (hb *HyBoost) Tune(p *Problem, budget int) (*Result, error) {
 			mR = 0
 		}
 	}
-	cm, err := trainComponentModels(p, mR, rng)
+	cm, err := trainComponentModels(p, mR, st.Rng)
 	if err != nil {
 		return nil, err
 	}
-	am := cm.lowFi
+	st.Budget = budget - mR
+	s.am = cm.lowFi
+	return cm.newSamples, nil
+}
 
-	var corrector *Surrogate
-	predict := func(cfg cfgspace.Config) float64 {
-		base := am.Score(cfg)
+func (s *hyBoostStrategy) predict(cfg cfgspace.Config) float64 {
+	base := s.am.Score(cfg)
+	if base < 1e-12 {
+		base = 1e-12
+	}
+	if s.corrector == nil || !s.corrector.Trained() {
+		return base
+	}
+	return base * s.corrector.Predict(cfg)
+}
+
+func (s *hyBoostStrategy) SeedBatch(st *State) ([]cfgspace.Config, error) {
+	m0 := initialBatchSize(s.opts.InitFrac, st.Budget)
+	return st.Tracker.takeRandom(m0, st.Rng), nil
+}
+
+func (s *hyBoostStrategy) SelectBatch(st *State) ([]cfgspace.Config, error) {
+	n := evenBatchSize(st, s.opts.Iterations)
+	if n == 0 {
+		return nil, nil
+	}
+	return st.Tracker.takeTop(n, st.Problem.scoreByConfig(s.predict)), nil
+}
+
+func (s *hyBoostStrategy) Fit(st *State, _ []Sample) (bool, error) {
+	// Residuals in ratio space: y / ACM(c).
+	samples := st.Samples
+	resid := make([]Sample, len(samples))
+	for i, smp := range samples {
+		base := s.am.Score(smp.Cfg)
 		if base < 1e-12 {
 			base = 1e-12
 		}
-		if corrector == nil || !corrector.Trained() {
-			return base
-		}
-		return base * corrector.Predict(cfg)
+		resid[i] = Sample{Cfg: smp.Cfg, Value: smp.Value / base}
 	}
-	train := func(samples []Sample) error {
-		// Residuals in ratio space: y / ACM(c).
-		resid := make([]Sample, len(samples))
-		for i, s := range samples {
-			base := am.Score(s.Cfg)
-			if base < 1e-12 {
-				base = 1e-12
-			}
-			resid[i] = Sample{Cfg: s.Cfg, Value: s.Value / base}
-		}
-		if corrector == nil {
-			corrector = newSurrogate(p)
-		}
-		return corrector.Train(resid)
+	if s.corrector == nil {
+		s.corrector = newSurrogate(st.Problem)
 	}
+	return true, s.corrector.Train(resid)
+}
 
-	workBudget := budget - mR
-	tracker := newPoolTracker(p)
-	m0 := int(opts.InitFrac*float64(workBudget) + 0.5)
-	if m0 < 2 {
-		m0 = 2
-	}
-	if m0 > workBudget {
-		m0 = workBudget
-	}
-	samples, err := measureBatch(p, tracker.takeRandom(m0, rng))
-	if err != nil {
-		return nil, err
-	}
-	if err := train(samples); err != nil {
-		return nil, err
-	}
-	for i := 0; i < opts.Iterations; i++ {
-		remaining := workBudget - len(samples)
-		if remaining <= 0 || tracker.left() == 0 {
-			break
-		}
-		batchSize := remaining / (opts.Iterations - i)
-		if batchSize < 1 {
-			batchSize = 1
-		}
-		batch, err := measureBatch(p, tracker.takeTop(batchSize, p.scoreByConfig(predict)))
-		if err != nil {
-			return nil, err
-		}
-		samples = append(samples, batch...)
-		if err := train(samples); err != nil {
-			return nil, err
-		}
-	}
+func (s *hyBoostStrategy) FinalScores(st *State) ([]float64, error) {
+	p := st.Problem
 	// predict reads am and the trained corrector only, so the pool fans out
 	// across the engine safely.
-	scores := p.engine().Floats(len(p.Pool), func(i int) float64 {
-		return predict(p.Pool[i])
-	})
-	return finish(p, scores, samples, cm.newSamples, -1), nil
+	return p.engine().Floats(len(p.Pool), func(i int) float64 {
+		return s.predict(p.Pool[i])
+	}), nil
 }
 
 // KNNSelectOptions configures the per-query model selector.
@@ -149,6 +165,25 @@ type KNNSelectOptions struct {
 // DefaultKNNSelectOptions mirrors Didona et al.'s KNN ensemble.
 func DefaultKNNSelectOptions() KNNSelectOptions {
 	return KNNSelectOptions{InitFrac: 0.3, Iterations: 5, ComponentFrac: 0.5, K: 5}
+}
+
+// withDefaults fills unset fields independently (ComponentFrac zero is
+// meaningful with history, so only negatives select the default).
+func (o KNNSelectOptions) withDefaults() KNNSelectOptions {
+	def := DefaultKNNSelectOptions()
+	if o.InitFrac <= 0 {
+		o.InitFrac = def.InitFrac
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = def.Iterations
+	}
+	if o.ComponentFrac < 0 {
+		o.ComponentFrac = def.ComponentFrac
+	}
+	if o.K < 1 {
+		o.K = def.K
+	}
+	return o
 }
 
 // KNNSelect is the Didona-style ensemble (§8.2): the measured samples are
@@ -168,21 +203,43 @@ func (*KNNSelect) Name() string { return "KNNSelect" }
 
 // Tune implements Algorithm.
 func (ks *KNNSelect) Tune(p *Problem, budget int) (*Result, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
+	opts := ks.Opts.withDefaults()
+	s := &knnSelectStrategy{opts: opts}
+	loop := &Loop{
+		Algorithm:  "KNNSelect",
+		Salt:       saltENS ^ 0x4b4e4e,
+		Iterations: opts.Iterations,
+		Seeder:     s,
+		Selector:   s,
+		Modeler:    s,
 	}
-	opts := ks.Opts
-	if opts.Iterations <= 0 {
-		opts = DefaultKNNSelectOptions()
-	}
-	if opts.K < 1 {
-		opts.K = 5
-	}
-	rng := rand.New(rand.NewPCG(p.Seed, saltENS^0x4b4e4e))
+	return loop.Run(p, budget)
+}
 
+// knnSelectCandidate is one model competing for each query.
+type knnSelectCandidate struct {
+	name    string
+	predict func(cfg cfgspace.Config) float64
+}
+
+// knnSelectStrategy: the AL loop over the per-query model selector.
+type knnSelectStrategy struct {
+	opts  KNNSelectOptions
+	space *cfgspace.Space
+	am    *acm.LowFidelity
+	cands []knnSelectCandidate
+	nn    *knn.Regressor // neighbour finder over the test half
+	test  []Sample       // held-out half used to select among candidates
+}
+
+func (s *knnSelectStrategy) ModelName() string { return "ensemble" }
+
+func (s *knnSelectStrategy) Bootstrap(st *State) ([][]Sample, error) {
+	p := st.Problem
+	budget := st.Budget
 	mR := 0
 	if !p.hasHistory() {
-		mR = int(opts.ComponentFrac*float64(budget) + 0.5)
+		mR = int(s.opts.ComponentFrac*float64(budget) + 0.5)
 		if mR >= budget {
 			mR = budget - 2
 		}
@@ -190,141 +247,118 @@ func (ks *KNNSelect) Tune(p *Problem, budget int) (*Result, error) {
 			mR = 0
 		}
 	}
-	cm, err := trainComponentModels(p, mR, rng)
+	cm, err := trainComponentModels(p, mR, st.Rng)
 	if err != nil {
 		return nil, err
 	}
-	am := cm.lowFi
+	st.Budget = budget - mR
+	s.am = cm.lowFi
+	s.space = p.Space
+	return cm.newSamples, nil
+}
 
-	type candidate struct {
-		name    string
-		predict func(cfg cfgspace.Config) float64
-	}
-	var cands []candidate
-	var nn *knn.Regressor // neighbour finder over measured configs
-	var measured []Sample
+func (s *knnSelectStrategy) SeedBatch(st *State) ([]cfgspace.Config, error) {
+	m0 := initialBatchSize(s.opts.InitFrac, st.Budget)
+	return st.Tracker.takeRandom(m0, st.Rng), nil
+}
 
-	var test []Sample // held-out half used to select among candidates
-	refit := func() error {
-		// Didona's even split: shuffle, half trains the candidates, half
-		// scores them per query (§8.2).
-		perm := rng.Perm(len(measured))
-		var train []Sample
-		test = test[:0]
-		for i, idx := range perm {
-			if i%2 == 0 || len(measured) < 4 {
-				train = append(train, measured[idx])
-			} else {
-				test = append(test, measured[idx])
-			}
-		}
-		if len(test) == 0 {
-			test = train
-		}
-		X := make([][]float64, len(train))
-		ylog := make([]float64, len(train))
-		Xn := make([][]float64, len(train))
-		y := make([]float64, len(train))
-		for i, s := range train {
-			X[i] = p.features(s.Cfg)
-			ylog[i] = logTarget(s.Value)
-			Xn[i] = p.Space.Normalized(s.Cfg)
-			y[i] = s.Value
-		}
-		// Neighbour finder over the TEST half.
-		Xt := make([][]float64, len(test))
-		yt := make([]float64, len(test))
-		for i, s := range test {
-			Xt[i] = p.Space.Normalized(s.Cfg)
-			yt[i] = s.Value
-		}
-		var err error
-		if nn, err = knn.Fit(Xt, yt, opts.K); err != nil {
-			return err
-		}
-		cands = []candidate{{name: "ACM", predict: am.Score}}
+func (s *knnSelectStrategy) SelectBatch(st *State) ([]cfgspace.Config, error) {
+	n := evenBatchSize(st, s.opts.Iterations)
+	if n == 0 {
+		return nil, nil
+	}
+	return st.Tracker.takeTop(n, st.Problem.scoreByConfig(s.predict)), nil
+}
 
-		xgbSurr := newSurrogate(p)
-		if err := xgbSurr.Train(train); err != nil {
-			return err
+// Fit is Didona's refit: shuffle, half trains the candidates, half scores
+// them per query (§8.2).
+func (s *knnSelectStrategy) Fit(st *State, _ []Sample) (bool, error) {
+	p := st.Problem
+	measured := st.Samples
+	perm := st.Rng.Perm(len(measured))
+	var train []Sample
+	s.test = s.test[:0]
+	for i, idx := range perm {
+		if i%2 == 0 || len(measured) < 4 {
+			train = append(train, measured[idx])
+		} else {
+			s.test = append(s.test, measured[idx])
 		}
-		cands = append(cands, candidate{name: "XGB", predict: xgbSurr.Predict})
+	}
+	if len(s.test) == 0 {
+		s.test = train
+	}
+	X := make([][]float64, len(train))
+	ylog := make([]float64, len(train))
+	Xn := make([][]float64, len(train))
+	y := make([]float64, len(train))
+	for i, smp := range train {
+		X[i] = p.features(smp.Cfg)
+		ylog[i] = logTarget(smp.Value)
+		Xn[i] = p.Space.Normalized(smp.Cfg)
+		y[i] = smp.Value
+	}
+	// Neighbour finder over the TEST half.
+	Xt := make([][]float64, len(s.test))
+	yt := make([]float64, len(s.test))
+	for i, smp := range s.test {
+		Xt[i] = p.Space.Normalized(smp.Cfg)
+		yt[i] = smp.Value
+	}
+	var err error
+	if s.nn, err = knn.Fit(Xt, yt, s.opts.K); err != nil {
+		return false, err
+	}
+	s.cands = []knnSelectCandidate{{name: "ACM", predict: s.am.Score}}
 
-		fp := forest.DefaultParams()
-		fp.Seed = p.Seed
-		if fst, err := forest.Fit(X, ylog, fp); err == nil {
-			cands = append(cands, candidate{name: "RF", predict: func(cfg cfgspace.Config) float64 {
-				return unlogTarget(fst.Predict(p.features(cfg)))
-			}})
-		}
-		if rr, err := linear.FitRidge(X, ylog, 1.0); err == nil {
-			cands = append(cands, candidate{name: "Ridge", predict: func(cfg cfgspace.Config) float64 {
-				return unlogTarget(rr.Predict(p.features(cfg)))
-			}})
-		}
-		if kr, err := knn.Fit(Xn, y, opts.K); err == nil {
-			cands = append(cands, candidate{name: "KNN", predict: func(cfg cfgspace.Config) float64 {
-				return kr.Predict(p.Space.Normalized(cfg))
-			}})
-		}
-		return nil
+	xgbSurr := newSurrogate(p)
+	if err := xgbSurr.Train(train); err != nil {
+		return false, err
 	}
+	s.cands = append(s.cands, knnSelectCandidate{name: "XGB", predict: xgbSurr.Predict})
 
-	predict := func(cfg cfgspace.Config) float64 {
-		nbrs := nn.Neighbors(p.Space.Normalized(cfg))
-		bestErr := math.Inf(1)
-		bestVal := 0.0
-		for _, cand := range cands {
-			errSum := 0.0
-			for _, idx := range nbrs {
-				errSum += metrics.APE(test[idx].Value, cand.predict(test[idx].Cfg))
-			}
-			if errSum < bestErr {
-				bestErr = errSum
-				bestVal = cand.predict(cfg)
-			}
-		}
-		return bestVal
+	fp := forest.DefaultParams()
+	fp.Seed = p.Seed
+	if fst, err := forest.Fit(X, ylog, fp); err == nil {
+		s.cands = append(s.cands, knnSelectCandidate{name: "RF", predict: func(cfg cfgspace.Config) float64 {
+			return unlogTarget(fst.Predict(p.features(cfg)))
+		}})
 	}
+	if rr, err := linear.FitRidge(X, ylog, 1.0); err == nil {
+		s.cands = append(s.cands, knnSelectCandidate{name: "Ridge", predict: func(cfg cfgspace.Config) float64 {
+			return unlogTarget(rr.Predict(p.features(cfg)))
+		}})
+	}
+	if kr, err := knn.Fit(Xn, y, s.opts.K); err == nil {
+		s.cands = append(s.cands, knnSelectCandidate{name: "KNN", predict: func(cfg cfgspace.Config) float64 {
+			return kr.Predict(p.Space.Normalized(cfg))
+		}})
+	}
+	return true, nil
+}
 
-	workBudget := budget - mR
-	tracker := newPoolTracker(p)
-	m0 := int(opts.InitFrac*float64(workBudget) + 0.5)
-	if m0 < 2 {
-		m0 = 2
-	}
-	if m0 > workBudget {
-		m0 = workBudget
-	}
-	measured, err = measureBatch(p, tracker.takeRandom(m0, rng))
-	if err != nil {
-		return nil, err
-	}
-	if err := refit(); err != nil {
-		return nil, err
-	}
-	for i := 0; i < opts.Iterations; i++ {
-		remaining := workBudget - len(measured)
-		if remaining <= 0 || tracker.left() == 0 {
-			break
+func (s *knnSelectStrategy) predict(cfg cfgspace.Config) float64 {
+	nbrs := s.nn.Neighbors(s.space.Normalized(cfg))
+	bestErr := math.Inf(1)
+	bestVal := 0.0
+	for _, cand := range s.cands {
+		errSum := 0.0
+		for _, idx := range nbrs {
+			errSum += metrics.APE(s.test[idx].Value, cand.predict(s.test[idx].Cfg))
 		}
-		batchSize := remaining / (opts.Iterations - i)
-		if batchSize < 1 {
-			batchSize = 1
-		}
-		batch, err := measureBatch(p, tracker.takeTop(batchSize, p.scoreByConfig(predict)))
-		if err != nil {
-			return nil, err
-		}
-		measured = append(measured, batch...)
-		if err := refit(); err != nil {
-			return nil, err
+		if errSum < bestErr {
+			bestErr = errSum
+			bestVal = cand.predict(cfg)
 		}
 	}
+	return bestVal
+}
+
+func (s *knnSelectStrategy) FinalScores(st *State) ([]float64, error) {
+	p := st.Problem
 	// Between refits every candidate model and the neighbour finder are
 	// read-only, so per-query selection fans out across the engine.
-	scores := p.engine().Floats(len(p.Pool), func(i int) float64 {
-		return predict(p.Pool[i])
-	})
-	return finish(p, scores, measured, cm.newSamples, -1), nil
+	return p.engine().Floats(len(p.Pool), func(i int) float64 {
+		return s.predict(p.Pool[i])
+	}), nil
 }

@@ -1,0 +1,270 @@
+// Package events defines the structured run-event trace emitted by the
+// tuner's shared Loop engine. The same collector / modeler / searcher cycle
+// (§2.2) drives every algorithm, and each of its phases — seeding, candidate
+// selection, measurement, model (re)training, CEAL's switch and bias-escape
+// decisions, iteration completion — is announced as one typed event.
+//
+// Events serve three consumers at once: production observability (the
+// `-trace` JSONL stream of cmd/ceal-tune), experiment rendering (paperexp's
+// per-iteration convergence curves), and offline mining of tuning histories
+// (the training data transfer-learning autotuners consume).
+//
+// An Observer is optional everywhere: a nil observer is the zero-cost
+// default, and the Loop only constructs event values when one is attached.
+package events
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind discriminates event types in serialized streams.
+type Kind string
+
+// The event taxonomy, in the order a run emits them.
+const (
+	KindRunStarted     Kind = "run_started"
+	KindBatchSelected  Kind = "batch_selected"
+	KindBatchMeasured  Kind = "batch_measured"
+	KindModelTrained   Kind = "model_trained"
+	KindSwitchDecision Kind = "switch_decision"
+	KindBiasEscape     Kind = "bias_escape"
+	KindIterationDone  Kind = "iteration_done"
+	KindFallback       Kind = "degenerate_fallback"
+	KindRunFinished    Kind = "run_finished"
+)
+
+// Event is one step of a tuning run. Concrete types below carry the
+// per-kind payloads; all are safe to retain after delivery (the Loop never
+// reuses an emitted event's memory).
+type Event interface {
+	Kind() Kind
+}
+
+// RunStarted opens every trace: one per Algorithm.Tune call.
+type RunStarted struct {
+	Algorithm string `json:"algorithm"`
+	Problem   string `json:"problem"`
+	Budget    int    `json:"budget"`
+	PoolSize  int    `json:"pool_size"`
+	Seed      uint64 `json:"seed"`
+}
+
+// BatchSelected announces the configurations chosen for the next
+// measurement batch, before any of them runs.
+type BatchSelected struct {
+	// Iteration is 0 for the seed batch, then 1..I for refinement batches.
+	Iteration int `json:"iteration"`
+	// Phase labels how the batch was chosen: "seed" for the initial batch,
+	// "refine" for per-iteration strategy picks.
+	Phase string `json:"phase"`
+	Size  int    `json:"size"`
+}
+
+// BatchMeasured reports a completed measurement batch together with the
+// collector cache behaviour it triggered (deltas over this batch only).
+type BatchMeasured struct {
+	Iteration int `json:"iteration"`
+	Size      int `json:"size"`
+	// CacheHits / CacheMisses / Coalesced are the collector's counter
+	// deltas for this batch: how many configurations were served from the
+	// memoization cache, freshly simulated, or folded into an in-flight
+	// measurement.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	Coalesced   uint64 `json:"coalesced"`
+	// Cost is the summed measured value of the batch (metric units).
+	Cost float64 `json:"cost"`
+}
+
+// ModelTrained reports a surrogate (re)fit.
+type ModelTrained struct {
+	Iteration int `json:"iteration"`
+	// Model names what was fit: "surrogate" (the boosted-tree M_H),
+	// "low-fidelity" (Phase-1 component models + analytical combination),
+	// "forest" (BO), "ensemble" (HyBoost/KNNSelect candidate sets).
+	Model string `json:"model"`
+	// Samples is the training-set size.
+	Samples int `json:"samples"`
+}
+
+// SwitchDecision is CEAL's model-switch detector verdict (Alg. 1 lines
+// 16–24): the out-of-sample recall sums of the high- and low-fidelity
+// models and whether control switched to the high-fidelity model.
+type SwitchDecision struct {
+	Iteration  int     `json:"iteration"`
+	HighRecall float64 `json:"high_recall"`
+	LowRecall  float64 `json:"low_recall"`
+	Switched   bool    `json:"switched"`
+}
+
+// BiasEscape is CEAL's dynamic random top-up (Alg. 1 lines 20–22): the
+// surrogate's favourites disagreed with the measured truth, so Added extra
+// random configurations were queued for the next batch.
+type BiasEscape struct {
+	Iteration int `json:"iteration"`
+	Added     int `json:"added"`
+}
+
+// IterationDone closes one loop iteration with the running best-so-far —
+// the raw material of convergence-trajectory curves.
+type IterationDone struct {
+	Iteration int `json:"iteration"`
+	// Measured is the cumulative workflow-sample count.
+	Measured int `json:"measured"`
+	// BestValue / BestConfig are the best measured configuration so far.
+	BestValue  float64 `json:"best_value"`
+	BestConfig []int   `json:"best_config"`
+}
+
+// Fallback reports the degenerate-budget path: no workflow configuration
+// was measured, so the recommendation fell back to the model's pool argmin
+// (an unverified prediction — visible here precisely because it is the one
+// recommendation no measurement supports).
+type Fallback struct {
+	// PoolIndex is the argmin index into the problem's pool.
+	PoolIndex int `json:"pool_index"`
+}
+
+// RunFinished closes every trace with the assembled result.
+type RunFinished struct {
+	Measured        int     `json:"measured"`
+	ComponentRuns   int     `json:"component_runs"`
+	CollectionCost  float64 `json:"collection_cost"`
+	BestValue       float64 `json:"best_value"`
+	BestConfig      []int   `json:"best_config"`
+	SwitchIteration int     `json:"switch_iteration"`
+}
+
+func (*RunStarted) Kind() Kind     { return KindRunStarted }
+func (*BatchSelected) Kind() Kind  { return KindBatchSelected }
+func (*BatchMeasured) Kind() Kind  { return KindBatchMeasured }
+func (*ModelTrained) Kind() Kind   { return KindModelTrained }
+func (*SwitchDecision) Kind() Kind { return KindSwitchDecision }
+func (*BiasEscape) Kind() Kind     { return KindBiasEscape }
+func (*IterationDone) Kind() Kind  { return KindIterationDone }
+func (*Fallback) Kind() Kind       { return KindFallback }
+func (*RunFinished) Kind() Kind    { return KindRunFinished }
+
+// Observer receives the event stream of a tuning run. Events arrive in run
+// order from the goroutine driving the loop; implementations that are
+// shared across concurrent runs (e.g. one writer behind several battery
+// replications) must synchronize internally. Observer failures never
+// corrupt a run: the Loop isolates panics, and write errors are the
+// observer's to surface (see JSONLWriter.Err).
+type Observer interface {
+	OnEvent(Event)
+}
+
+// Recorder is an Observer that retains every event in arrival order — the
+// tool for tests and for paperexp's convergence curves. Safe for
+// concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// OnEvent implements Observer.
+func (r *Recorder) OnEvent(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a snapshot of the recorded events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}
+
+// Multi fans one event stream out to several observers (nils are skipped).
+func Multi(obs ...Observer) Observer {
+	var live []Observer
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multi(live)
+}
+
+type multi []Observer
+
+func (m multi) OnEvent(e Event) {
+	for _, o := range m {
+		o.OnEvent(e)
+	}
+}
+
+// JSONLWriter streams events as one JSON object per line:
+//
+//	{"event":"run_started","algorithm":"CEAL","problem":"LV/comp",...}
+//
+// The event kind is spliced in as the leading "event" member; the remaining
+// members are the typed event's fields. Write and marshal errors are
+// retained (first error wins) and reported by Err — the run itself never
+// fails because its trace sink did. Safe for concurrent use.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJSONLWriter returns a JSONL observer over w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter { return &JSONLWriter{w: w} }
+
+// OnEvent implements Observer.
+func (j *JSONLWriter) OnEvent(e Event) {
+	line, err := MarshalJSON(e)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		if j.err == nil {
+			j.err = err
+		}
+		return
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
+// Err returns the first marshal or write error encountered, if any.
+func (j *JSONLWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// MarshalJSON renders one event as a single JSON object with the kind
+// spliced in as the leading "event" member.
+func MarshalJSON(e Event) ([]byte, error) {
+	body, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	head := fmt.Sprintf(`{"event":%q`, string(e.Kind()))
+	if len(body) <= 2 { // "{}" — no fields
+		return []byte(head + "}"), nil
+	}
+	return append([]byte(head+","), body[1:]...), nil
+}

@@ -1,5 +1,9 @@
 package tuner
 
+import (
+	"ceal/internal/cfgspace"
+)
+
 // Exhaustive measures every pool configuration, budget permitting — the
 // brute-force upper bound no practical in-situ tuner can afford (§2.3),
 // used to verify that the budgeted algorithms approach the true optimum
@@ -11,33 +15,41 @@ func (Exhaustive) Name() string { return "Exhaustive" }
 
 // Tune measures min(budget, |pool|) configurations in pool order.
 func (Exhaustive) Tune(p *Problem, budget int) (*Result, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
+	s := &exhaustiveStrategy{}
+	loop := &Loop{Algorithm: "Exhaustive", Salt: saltEXH, Seeder: s, Modeler: s}
+	return loop.Run(p, budget)
+}
+
+// exhaustiveStrategy sweeps the pool in order; there is no model to fit.
+type exhaustiveStrategy struct{}
+
+func (*exhaustiveStrategy) SeedBatch(st *State) ([]cfgspace.Config, error) {
+	n := st.Budget
+	if n > len(st.Problem.Pool) {
+		n = len(st.Problem.Pool)
 	}
-	n := budget
-	if n > len(p.Pool) {
-		n = len(p.Pool)
-	}
-	samples, err := measureBatch(p, p.Pool[:n])
-	if err != nil {
-		return nil, err
-	}
-	// The "model" is the measurements themselves; unmeasured pool entries
-	// (budget < |pool|) score as the worst observed value so recall
-	// metrics treat them as unknown-bad.
+	return st.Problem.Pool[:n], nil
+}
+
+func (*exhaustiveStrategy) Fit(*State, []Sample) (bool, error) { return false, nil }
+
+// FinalScores: the "model" is the measurements themselves; unmeasured pool
+// entries (budget < |pool|) score as the worst observed value so recall
+// metrics treat them as unknown-bad.
+func (*exhaustiveStrategy) FinalScores(st *State) ([]float64, error) {
 	worst := 0.0
-	for _, s := range samples {
+	for _, s := range st.Samples {
 		if s.Value > worst {
 			worst = s.Value
 		}
 	}
-	scores := make([]float64, len(p.Pool))
+	scores := make([]float64, len(st.Problem.Pool))
 	for i := range scores {
-		if i < n {
-			scores[i] = samples[i].Value
+		if i < len(st.Samples) {
+			scores[i] = st.Samples[i].Value
 		} else {
 			scores[i] = worst
 		}
 	}
-	return finish(p, scores, samples, nil, -1), nil
+	return scores, nil
 }

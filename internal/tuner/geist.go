@@ -7,6 +7,7 @@ import (
 	"ceal/internal/cfgspace"
 	"ceal/internal/metrics"
 	"ceal/internal/score"
+	"ceal/internal/tuner/events"
 )
 
 // GEISTOptions configures the graph-guided sampler.
@@ -31,6 +32,32 @@ func DefaultGEISTOptions() GEISTOptions {
 	}
 }
 
+// withDefaults fills unset fields independently. ExploreFrac is the one
+// field where zero is meaningful (a purely exploitative sampler), so only
+// a negative value selects the default there.
+func (o GEISTOptions) withDefaults() GEISTOptions {
+	def := DefaultGEISTOptions()
+	if o.InitFrac <= 0 {
+		o.InitFrac = def.InitFrac
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = def.Iterations
+	}
+	if o.Neighbors <= 0 {
+		o.Neighbors = def.Neighbors
+	}
+	if o.TopQuantile <= 0 {
+		o.TopQuantile = def.TopQuantile
+	}
+	if o.ExploreFrac < 0 {
+		o.ExploreFrac = def.ExploreFrac
+	}
+	if o.Sweeps <= 0 {
+		o.Sweeps = def.Sweeps
+	}
+	return o
+}
+
 // GEIST is the state-of-the-art comparison algorithm (§7.3): semi-
 // supervised label propagation over a parameter graph identifies unmeasured
 // configurations likely to be in the top 5%, which are measured next. The
@@ -48,104 +75,124 @@ func (*GEIST) Name() string { return "GEIST" }
 
 // Tune implements Algorithm.
 func (g *GEIST) Tune(p *Problem, budget int) (*Result, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
+	opts := g.Opts.withDefaults()
+	s := &geistStrategy{opts: opts}
+	loop := &Loop{
+		Algorithm:  "GEIST",
+		Salt:       saltGEIST,
+		Iterations: opts.Iterations,
+		Seeder:     s,
+		Selector:   s,
+		Modeler:    s,
 	}
-	opts := g.Opts
-	if opts.Iterations <= 0 {
-		opts = DefaultGEISTOptions()
-	}
-	rng := rand.New(rand.NewPCG(p.Seed, saltGEIST))
-	graph := p.parameterGraph(opts.Neighbors)
+	return loop.Run(p, budget)
+}
 
-	measured := make(map[int]float64) // pool index -> measured value
-	unmeasured := make(map[int]bool, len(p.Pool))
+// geistStrategy tracks measurements by pool index (the graph's node id)
+// rather than through the tracker: label propagation needs the index map.
+// The surrogate is only trained once, on the final sample set, so Fit
+// merely folds fresh measurements into the index map and the model-trained
+// trace event fires from FinalScores.
+type geistStrategy struct {
+	opts       GEISTOptions
+	graph      [][]int
+	measured   map[int]float64 // pool index -> measured value
+	unmeasured map[int]bool
+	lastIdxs   []int // pool indices of the batch just handed to the loop
+	model      *Surrogate
+}
+
+func (s *geistStrategy) SeedBatch(st *State) ([]cfgspace.Config, error) {
+	p := st.Problem
+	s.graph = p.parameterGraph(s.opts.Neighbors)
+	s.measured = make(map[int]float64)
+	s.unmeasured = make(map[int]bool, len(p.Pool))
 	for i := range p.Pool {
-		unmeasured[i] = true
+		s.unmeasured[i] = true
 	}
-	var samples []Sample
+	m0 := initialBatchSize(s.opts.InitFrac, st.Budget)
+	return s.claim(st, randomUnmeasured(m0, len(p.Pool), s.unmeasured, st.Rng)), nil
+}
 
-	measureIdxs := func(idxs []int) error {
-		var fresh []int
-		for _, i := range idxs {
-			if unmeasured[i] {
-				fresh = append(fresh, i)
-			}
-		}
-		if len(fresh) == 0 {
-			return nil
-		}
-		cfgs := make([]cfgspace.Config, len(fresh))
-		for i, idx := range fresh {
-			cfgs[i] = p.Pool[idx]
-		}
-		batch, err := measureBatch(p, cfgs)
-		if err != nil {
-			return err
-		}
-		for i, idx := range fresh {
-			measured[idx] = batch[i].Value
-			delete(unmeasured, idx)
-		}
-		samples = append(samples, batch...)
-		return nil
+func (s *geistStrategy) SelectBatch(st *State) ([]cfgspace.Config, error) {
+	p := st.Problem
+	if len(s.unmeasured) == 0 {
+		return nil, nil
 	}
+	remaining := st.Budget - len(s.measured)
+	if remaining <= 0 {
+		return nil, nil
+	}
+	batchSize := remaining / (s.opts.Iterations - (st.Iter - 1))
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	scores := propagateLabels(p.engine(), s.graph, s.measured, len(p.Pool), s.opts, st.Rng)
+	nExplore := int(float64(batchSize)*s.opts.ExploreFrac + 0.5)
+	nExploit := batchSize - nExplore
 
-	m0 := int(opts.InitFrac*float64(budget) + 0.5)
-	if m0 < 2 {
-		m0 = 2
+	// Exploit: highest propagated probability of being in the top 5%.
+	order := make([]int, 0, len(s.unmeasured))
+	for i := range s.unmeasured {
+		order = append(order, i)
 	}
-	if m0 > budget {
-		m0 = budget
+	sort.Slice(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	if nExploit > len(order) {
+		nExploit = len(order)
 	}
-	if err := measureIdxs(randomUnmeasured(m0, len(p.Pool), unmeasured, rng)); err != nil {
+	// Claim the exploit picks before drawing explore indices: the random
+	// draw rejects already-claimed nodes, so claim order shapes the random
+	// stream and must stay exploit-first.
+	batch := s.claim(st, order[:nExploit])
+	if nExplore > 0 {
+		batch = append(batch, s.claim(st, randomUnmeasured(nExplore, len(p.Pool), s.unmeasured, st.Rng))...)
+	}
+	return batch, nil
+}
+
+// claim marks pool indices as pending-measurement and returns their
+// configurations, remembering the indices so Fit can map the measured
+// values back onto graph nodes.
+func (s *geistStrategy) claim(st *State, idxs []int) []cfgspace.Config {
+	cfgs := make([]cfgspace.Config, 0, len(idxs))
+	for _, i := range idxs {
+		if !s.unmeasured[i] {
+			continue
+		}
+		delete(s.unmeasured, i)
+		s.lastIdxs = append(s.lastIdxs, i)
+		cfgs = append(cfgs, st.Problem.Pool[i])
+	}
+	return cfgs
+}
+
+func (s *geistStrategy) Fit(_ *State, fresh []Sample) (bool, error) {
+	for k, smp := range fresh {
+		s.measured[s.lastIdxs[k]] = smp.Value
+	}
+	s.lastIdxs = s.lastIdxs[:0]
+	return false, nil
+}
+
+func (s *geistStrategy) FinalScores(st *State) ([]float64, error) {
+	s.model = newSurrogate(st.Problem)
+	if err := s.model.Train(st.Samples); err != nil {
 		return nil, err
 	}
-
-	for it := 0; it < opts.Iterations && len(unmeasured) > 0; it++ {
-		remaining := budget - len(measured)
-		if remaining <= 0 {
-			break
-		}
-		batchSize := remaining / (opts.Iterations - it)
-		if batchSize < 1 {
-			batchSize = 1
-		}
-		scores := propagateLabels(p.engine(), graph, measured, len(p.Pool), opts, rng)
-		nExplore := int(float64(batchSize)*opts.ExploreFrac + 0.5)
-		nExploit := batchSize - nExplore
-
-		// Exploit: highest propagated probability of being in the top 5%.
-		order := make([]int, 0, len(unmeasured))
-		for i := range unmeasured {
-			order = append(order, i)
-		}
-		sort.Slice(order, func(a, b int) bool {
-			if scores[order[a]] != scores[order[b]] {
-				return scores[order[a]] > scores[order[b]]
-			}
-			return order[a] < order[b]
-		})
-		if nExploit > len(order) {
-			nExploit = len(order)
-		}
-		if err := measureIdxs(order[:nExploit]); err != nil {
-			return nil, err
-		}
-		if nExplore > 0 {
-			if err := measureIdxs(randomUnmeasured(nExplore, len(p.Pool), unmeasured, rng)); err != nil {
-				return nil, err
-			}
-		}
+	if st.Observing() {
+		st.Emit(&events.ModelTrained{Iteration: st.Iter, Model: "surrogate", Samples: len(st.Samples)})
 	}
+	return s.model.PredictPool(st.Problem.Pool), nil
+}
 
-	model := newSurrogate(p)
-	if err := model.Train(samples); err != nil {
-		return nil, err
-	}
-	res := finish(p, model.PredictPool(p.Pool), samples, nil, -1)
-	res.Importance = model.Importance(len(p.features(p.Pool[0])))
-	return res, nil
+func (s *geistStrategy) FinalImportance(st *State) []float64 {
+	p := st.Problem
+	return s.model.Importance(len(p.features(p.Pool[0])))
 }
 
 // randomUnmeasured draws up to n distinct unmeasured pool indices.

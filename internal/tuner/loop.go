@@ -1,0 +1,317 @@
+package tuner
+
+import (
+	"math/rand/v2"
+
+	"ceal/internal/cfgspace"
+	"ceal/internal/collector"
+	"ceal/internal/tuner/events"
+)
+
+// This file is the shared run engine behind every algorithm: the explicit
+// realisation of the paper's collector / modeler / searcher cycle (§2.2)
+// that each Tune method used to hand-roll. The Loop owns the run skeleton —
+// budget accounting, the poolTracker, measurement batching through the
+// problem's collector, observer emission and final Result assembly — while
+// the algorithms plug in as small strategy bundles:
+//
+//   - Seeder    chooses the initial measurement batch;
+//   - Selector  chooses each refinement iteration's candidates;
+//   - Modeler   (re)trains the surrogate and produces the final pool scores;
+//   - Controller (optional) runs after each measured batch — CEAL's
+//     model-switch detector and bias-escape top-up live here;
+//   - Bootstrapper (optional) runs Phase-1 component-model training before
+//     seeding and may spend budget on standalone component runs.
+//
+// One struct usually implements several of these; the Loop discovers the
+// optional interfaces by type assertion on the Modeler.
+//
+// Every step is announced on the problem's events.Observer (nil = zero-cost:
+// event values are only constructed when an observer is attached), giving
+// all eight algorithms one replayable trace format.
+
+// State is the run context the Loop shares with its strategies. Strategies
+// may read everything and consume Rng; only the fields documented as
+// strategy-writable should be mutated.
+type State struct {
+	Problem *Problem
+	// Rng is the algorithm's salted random stream. All strategy randomness
+	// must flow from it to keep runs reproducible from Problem.Seed.
+	Rng *rand.Rand
+	// Tracker manages the not-yet-measured portion of the pool.
+	Tracker *poolTracker
+	// Budget is the remaining workflow-run allowance. It starts at Tune's
+	// budget; a Bootstrapper reduces it by the component runs it charged
+	// (strategy-writable, from Bootstrap only).
+	Budget int
+	// Samples are the workflow measurements so far, in measurement order.
+	// Owned by the Loop; strategies must not mutate it.
+	Samples []Sample
+	// Iter is the current iteration: 0 during seeding, then 1..Iterations.
+	Iter int
+	// SwitchIter records a Controller's model-switch iteration
+	// (strategy-writable; -1 = never switched).
+	SwitchIter int
+
+	obs      events.Observer
+	bestVal  float64
+	bestCfg  cfgspace.Config
+	hasBest  bool
+	compRuns int
+}
+
+// Remaining returns the workflow-run budget not yet spent.
+func (s *State) Remaining() int { return s.Budget - len(s.Samples) }
+
+// Observing reports whether an observer is attached. Strategies should
+// guard event construction with it so the nil-observer path stays
+// allocation-free.
+func (s *State) Observing() bool { return s.obs != nil }
+
+// Emit delivers an event to the observer, if any. Observer panics are
+// isolated here: a crashing trace consumer never corrupts the run.
+func (s *State) Emit(e events.Event) {
+	if s.obs == nil {
+		return
+	}
+	defer func() { _ = recover() }()
+	s.obs.OnEvent(e)
+}
+
+// Seeder chooses the initial measurement batch (iteration 0).
+type Seeder interface {
+	// SeedBatch returns the configurations to measure first. It may take
+	// them from st.Tracker and consume st.Rng.
+	SeedBatch(st *State) ([]cfgspace.Config, error)
+}
+
+// Selector chooses one refinement iteration's measurement batch. Returning
+// an empty batch ends the run (budget exhausted, pool drained, or the
+// strategy has nothing left to learn).
+type Selector interface {
+	SelectBatch(st *State) ([]cfgspace.Config, error)
+}
+
+// Modeler owns the surrogate: it is refit after every measured batch and
+// produces the final pool predictions the searcher and the evaluation
+// metrics consume.
+type Modeler interface {
+	// Fit (re)trains after a batch. fresh holds only the just-measured
+	// samples (st.Samples has the cumulative set). The returned bool
+	// reports whether a model was actually (re)trained — false suppresses
+	// the ModelTrained event for strategies that train lazily (GEIST).
+	Fit(st *State, fresh []Sample) (bool, error)
+	// FinalScores returns the final model's prediction for every pool
+	// configuration, aligned with Problem.Pool.
+	FinalScores(st *State) ([]float64, error)
+}
+
+// Controller hooks in after each measured batch, before the Modeler refits
+// — the seam for CEAL's out-of-sample switch detection and bias escape. It
+// may queue work for the next SelectBatch through strategy-internal state
+// and may set st.SwitchIter.
+type Controller interface {
+	AfterMeasure(st *State, batch []Sample)
+}
+
+// Bootstrapper runs before seeding: CEAL-family strategies train Phase-1
+// component models here. It returns the standalone component samples it
+// measured (charged against the budget by reducing st.Budget).
+type Bootstrapper interface {
+	Bootstrap(st *State) ([][]Sample, error)
+}
+
+// Importancer optionally exposes the final model's feature importance.
+type Importancer interface {
+	FinalImportance(st *State) []float64
+}
+
+// Loop is the shared run engine. Algorithms construct one per Tune call
+// with their strategy bundle plugged in and invoke Run.
+type Loop struct {
+	// Algorithm names the run in RunStarted events.
+	Algorithm string
+	// Salt decorrelates this algorithm's random stream (see rs.go).
+	Salt uint64
+	// Iterations bounds the refinement loop (0 = seed batch only).
+	Iterations int
+
+	Seeder     Seeder
+	Selector   Selector // nil = no refinement iterations
+	Modeler    Modeler
+	Controller Controller // optional
+}
+
+// Run drives the collector / modeler / searcher cycle to completion and
+// assembles the Result.
+func (l *Loop) Run(p *Problem, budget int) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	st := &State{
+		Problem:    p,
+		Rng:        rand.New(rand.NewPCG(p.Seed, l.Salt)),
+		Tracker:    newPoolTracker(p),
+		Budget:     budget,
+		SwitchIter: -1,
+		obs:        p.Observer,
+	}
+	if st.obs != nil {
+		st.Emit(&events.RunStarted{
+			Algorithm: l.Algorithm,
+			Problem:   p.Name,
+			Budget:    budget,
+			PoolSize:  len(p.Pool),
+			Seed:      p.Seed,
+		})
+	}
+
+	// Phase 1 (optional): component models, charged against the budget.
+	var compSamples [][]Sample
+	if b, ok := l.Modeler.(Bootstrapper); ok {
+		cs, err := b.Bootstrap(st)
+		if err != nil {
+			return nil, err
+		}
+		compSamples = cs
+		for _, s := range cs {
+			st.compRuns += len(s)
+		}
+		if st.obs != nil && st.compRuns > 0 {
+			st.Emit(&events.ModelTrained{Iteration: 0, Model: "low-fidelity", Samples: st.compRuns})
+		}
+	}
+
+	// Seed batch (iteration 0).
+	seed, err := l.Seeder.SeedBatch(st)
+	if err != nil {
+		return nil, err
+	}
+	batch, err := l.measure(st, "seed", seed)
+	if err != nil {
+		return nil, err
+	}
+	if l.Controller != nil {
+		l.Controller.AfterMeasure(st, batch)
+	}
+	if err := l.fit(st, batch); err != nil {
+		return nil, err
+	}
+	l.iterationDone(st)
+
+	// Refinement iterations.
+	for it := 1; it <= l.Iterations && l.Selector != nil; it++ {
+		st.Iter = it
+		cfgs, err := l.Selector.SelectBatch(st)
+		if err != nil {
+			return nil, err
+		}
+		if len(cfgs) == 0 {
+			break
+		}
+		batch, err := l.measure(st, "refine", cfgs)
+		if err != nil {
+			return nil, err
+		}
+		if l.Controller != nil {
+			l.Controller.AfterMeasure(st, batch)
+		}
+		if err := l.fit(st, batch); err != nil {
+			return nil, err
+		}
+		l.iterationDone(st)
+	}
+
+	scores, err := l.Modeler.FinalScores(st)
+	if err != nil {
+		return nil, err
+	}
+	res := finish(p, scores, st.Samples, compSamples, st.SwitchIter, st)
+	if imp, ok := l.Modeler.(Importancer); ok {
+		res.Importance = imp.FinalImportance(st)
+	}
+	if st.obs != nil {
+		st.Emit(&events.RunFinished{
+			Measured:        len(st.Samples),
+			ComponentRuns:   st.compRuns,
+			CollectionCost:  res.CollectionCost,
+			BestValue:       st.bestVal,
+			BestConfig:      res.Best,
+			SwitchIteration: res.SwitchIteration,
+		})
+	}
+	return res, nil
+}
+
+// measure runs one batch through the problem's caching collector, appends
+// the samples to the run state, and tracks the best measured value. The
+// BatchMeasured event carries the collector's cache-counter deltas for
+// exactly this batch.
+func (l *Loop) measure(st *State, phase string, cfgs []cfgspace.Config) ([]Sample, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	p := st.Problem
+	var before collector.Stats
+	if st.obs != nil {
+		st.Emit(&events.BatchSelected{Iteration: st.Iter, Phase: phase, Size: len(cfgs)})
+		before = p.Collector().Stats()
+	}
+	samples, err := measureBatch(p, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	st.Samples = append(st.Samples, samples...)
+	cost := 0.0
+	for _, s := range samples {
+		cost += s.Value
+		if !st.hasBest || s.Value < st.bestVal {
+			st.hasBest = true
+			st.bestVal = s.Value
+			st.bestCfg = s.Cfg
+		}
+	}
+	if st.obs != nil {
+		after := p.Collector().Stats()
+		st.Emit(&events.BatchMeasured{
+			Iteration:   st.Iter,
+			Size:        len(samples),
+			CacheHits:   after.Hits - before.Hits,
+			CacheMisses: after.Misses - before.Misses,
+			Coalesced:   after.Coalesced - before.Coalesced,
+			Cost:        cost,
+		})
+	}
+	return samples, nil
+}
+
+func (l *Loop) fit(st *State, fresh []Sample) error {
+	trained, err := l.Modeler.Fit(st, fresh)
+	if err != nil {
+		return err
+	}
+	if trained && st.obs != nil {
+		st.Emit(&events.ModelTrained{Iteration: st.Iter, Model: l.modelName(), Samples: len(st.Samples)})
+	}
+	return nil
+}
+
+// modelName lets a strategy label its ModelTrained events; the boosted-tree
+// default covers most bundles.
+func (l *Loop) modelName() string {
+	if n, ok := l.Modeler.(interface{ ModelName() string }); ok {
+		return n.ModelName()
+	}
+	return "surrogate"
+}
+
+func (l *Loop) iterationDone(st *State) {
+	if st.obs == nil {
+		return
+	}
+	e := &events.IterationDone{Iteration: st.Iter, Measured: len(st.Samples), BestValue: st.bestVal}
+	if st.hasBest {
+		e.BestConfig = st.bestCfg.Clone()
+	}
+	st.Emit(e)
+}

@@ -1,0 +1,58 @@
+package tuner
+
+import (
+	"io"
+	"testing"
+
+	"ceal/internal/tuner/events"
+)
+
+// BenchmarkLoopObserverOverhead prices the run-event trace: the same RS run
+// with no observer, with a Recorder, and with a JSONL stream to io.Discard.
+// The problem's collector is warmed by a first run so repeated iterations
+// measure the engine + observer path, not the simulator. The nil variant's
+// allocation count is the contract: attaching no observer must cost nothing
+// (see BenchmarkStateEmitNil for the per-call proof).
+func BenchmarkLoopObserverOverhead(b *testing.B) {
+	const (
+		pool   = 200
+		budget = 16
+	)
+	variants := []struct {
+		name string
+		obs  func() events.Observer
+	}{
+		{"nil-observer", func() events.Observer { return nil }},
+		{"recorder", func() events.Observer { return events.NewRecorder() }},
+		{"jsonl-discard", func() events.Observer { return events.NewJSONLWriter(io.Discard) }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			p := synthProblem(1, pool)
+			if _, err := (RS{}).Tune(p, budget); err != nil { // warm the collector cache
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Observer = v.obs()
+				if _, err := (RS{}).Tune(p, budget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStateEmitNil is the zero-cost claim in isolation: with no
+// observer attached, the emission seam is a nil check — 0 B/op, 0 allocs/op
+// — because callers guard event construction behind State.Observing.
+func BenchmarkStateEmitNil(b *testing.B) {
+	st := &State{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if st.Observing() {
+			st.Emit(&events.IterationDone{Iteration: i})
+		}
+	}
+}

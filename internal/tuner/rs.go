@@ -1,7 +1,7 @@
 package tuner
 
 import (
-	"math/rand/v2"
+	"ceal/internal/cfgspace"
 )
 
 // RS is the random-sampling baseline (§7.3): the whole budget is spent on
@@ -14,23 +14,31 @@ func (RS) Name() string { return "RS" }
 
 // Tune implements Algorithm.
 func (RS) Tune(p *Problem, budget int) (*Result, error) {
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewPCG(p.Seed, saltRS))
-	tracker := newPoolTracker(p)
-	cfgs := tracker.takeRandom(budget, rng)
-	samples, err := measureBatch(p, cfgs)
-	if err != nil {
-		return nil, err
-	}
-	model := newSurrogate(p)
-	if err := model.Train(samples); err != nil {
-		return nil, err
-	}
-	res := finish(p, model.PredictPool(p.Pool), samples, nil, -1)
-	res.Importance = model.Importance(len(p.features(p.Pool[0])))
-	return res, nil
+	s := &rsStrategy{model: newSurrogate(p)}
+	loop := &Loop{Algorithm: "RS", Salt: saltRS, Seeder: s, Modeler: s}
+	return loop.Run(p, budget)
+}
+
+// rsStrategy spends the whole budget at once and trains a single surrogate.
+type rsStrategy struct {
+	model *Surrogate
+}
+
+func (s *rsStrategy) SeedBatch(st *State) ([]cfgspace.Config, error) {
+	return st.Tracker.takeRandom(st.Budget, st.Rng), nil
+}
+
+func (s *rsStrategy) Fit(st *State, _ []Sample) (bool, error) {
+	return true, s.model.Train(st.Samples)
+}
+
+func (s *rsStrategy) FinalScores(st *State) ([]float64, error) {
+	return s.model.PredictPool(st.Problem.Pool), nil
+}
+
+func (s *rsStrategy) FinalImportance(st *State) []float64 {
+	p := st.Problem
+	return s.model.Importance(len(p.features(p.Pool[0])))
 }
 
 // Distinct salts decorrelate the algorithms' random streams from one
@@ -43,4 +51,5 @@ const (
 	saltALpH  = 0x414c7048
 	saltBO    = 0x424f424f
 	saltENS   = 0x454e5345
+	saltEXH   = 0x45584858
 )

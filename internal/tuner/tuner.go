@@ -30,6 +30,7 @@ import (
 	"ceal/internal/emews"
 	"ceal/internal/ml/xgb"
 	"ceal/internal/score"
+	"ceal/internal/tuner/events"
 )
 
 // Evaluator measures configurations. Implementations may run the cluster
@@ -105,6 +106,14 @@ type Problem struct {
 	Ctx context.Context
 	// Seed drives all of the algorithm's random choices.
 	Seed uint64
+	// Observer optionally receives the structured run-event trace (see
+	// internal/tuner/events): seeding, batch selection, measurement with
+	// collector cache stats, model training, CEAL switch/bias decisions,
+	// per-iteration best-so-far, and the final result. nil (the default)
+	// is a zero-cost no-op — no event values are even constructed. The
+	// observer never influences the run: results are byte-identical with
+	// and without one attached.
+	Observer events.Observer
 
 	// col memoizes the problem's measurement collector so every algorithm
 	// run on this problem shares one cache (repeated configurations across
@@ -303,6 +312,8 @@ func measureBatch(p *Problem, cfgs []cfgspace.Config) ([]Sample, error) {
 }
 
 // finish assembles a Result from the final model scores over the pool.
+// st may be nil (no trace); when set, the degenerate-budget fallback below
+// is announced on the observer.
 //
 // The searcher's recommendation is the measured configuration with the
 // best observed performance. The surrogate's role is to steer which
@@ -312,7 +323,12 @@ func measureBatch(p *Problem, cfgs []cfgspace.Config) ([]Sample, error) {
 // can score an unseen configuration below every training point — recommend
 // configurations no evidence supports, which a fixed measurement budget
 // cannot re-verify.
-func finish(p *Problem, scores []float64, samples []Sample, compSamples [][]Sample, switchIter int) *Result {
+//
+// The Result owns its slices: Samples and ComponentSamples are copied so
+// callers may retain or mutate them without aliasing the run's internal
+// state (PoolScores is already exclusively the Result's — the final model
+// writes it fresh and nothing else holds a reference).
+func finish(p *Problem, scores []float64, samples []Sample, compSamples [][]Sample, switchIter int, st *State) *Result {
 	var best cfgspace.Config
 	bestVal := math.Inf(1)
 	for _, s := range samples {
@@ -331,6 +347,9 @@ func finish(p *Problem, scores []float64, samples []Sample, compSamples [][]Samp
 			}
 		}
 		best = p.Pool[idx]
+		if st != nil {
+			st.Emit(&events.Fallback{PoolIndex: idx})
+		}
 	}
 	cost := 0.0
 	for _, s := range samples {
@@ -341,11 +360,18 @@ func finish(p *Problem, scores []float64, samples []Sample, compSamples [][]Samp
 			cost += s.Value
 		}
 	}
+	compCopy := make([][]Sample, len(compSamples))
+	for j, cs := range compSamples {
+		compCopy[j] = append([]Sample(nil), cs...)
+	}
+	if compSamples == nil {
+		compCopy = nil
+	}
 	return &Result{
 		Best:             best.Clone(),
 		PoolScores:       scores,
-		Samples:          samples,
-		ComponentSamples: compSamples,
+		Samples:          append([]Sample(nil), samples...),
+		ComponentSamples: compCopy,
 		CollectionCost:   cost,
 		SwitchIteration:  switchIter,
 	}
