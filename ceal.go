@@ -27,17 +27,13 @@
 package ceal
 
 import (
-	"fmt"
-	"hash/fnv"
-	"math/rand/v2"
-	"strings"
-
-	"ceal/internal/acm"
 	"ceal/internal/apps"
 	"ceal/internal/cfgspace"
 	"ceal/internal/cluster"
 	"ceal/internal/collector"
+	"ceal/internal/live"
 	"ceal/internal/paperexp"
+	"ceal/internal/service"
 	"ceal/internal/tuner"
 	"ceal/internal/tuner/events"
 	"ceal/internal/workflow"
@@ -106,6 +102,18 @@ type (
 	// JSONLWriter is an Observer that streams events as JSON lines
 	// (cmd/ceal-tune's -trace format).
 	JSONLWriter = events.JSONLWriter
+	// JobSpec is a tuning job submitted to the serving layer (cmd/ceal-serve's
+	// POST /v1/runs body): benchmark, algorithm, objective, budget, pool, seed.
+	JobSpec = service.JobSpec
+	// RunRecord is the serving layer's view of one submitted job: spec,
+	// lifecycle state, result and persisted event trace.
+	RunRecord = service.RunRecord
+	// RunState is a RunRecord's lifecycle state (queued, running, done,
+	// failed, cancelled).
+	RunState = service.RunState
+	// Store persists finished tuning runs for the serving layer (see
+	// service.NewMemStore / service.OpenFileStore).
+	Store = service.Store
 )
 
 // Space construction helpers for custom workflows.
@@ -181,82 +189,17 @@ func NewRS() Algorithm { return tuner.RS{} }
 
 // AlgorithmByName maps a name (rs, al, geist, alph, ceal, bo, hyboost,
 // knnselect) to a fresh algorithm instance with default options.
-func AlgorithmByName(name string) (Algorithm, error) {
-	switch strings.ToLower(name) {
-	case "rs":
-		return NewRS(), nil
-	case "al":
-		return NewAL(), nil
-	case "geist":
-		return NewGEIST(), nil
-	case "alph":
-		return NewALpH(), nil
-	case "ceal":
-		return NewCEAL(), nil
-	case "bo":
-		return NewBO(), nil
-	case "hyboost":
-		return NewHyBoost(), nil
-	case "knnselect":
-		return NewKNNSelect(), nil
-	default:
-		return nil, fmt.Errorf("ceal: unknown algorithm %q", name)
-	}
-}
+func AlgorithmByName(name string) (Algorithm, error) { return live.AlgorithmByName(name) }
+
+// ObjectiveByName maps a short objective name (exec, comp, energy) to its
+// Objective.
+func ObjectiveByName(name string) (Objective, error) { return live.ParseObjective(name) }
 
 // LiveEvaluator measures configurations by actually running the cluster
 // simulator (as opposed to the experiment harness's pre-measured pools).
 // Noise is keyed to the configuration so repeated measurements of the same
 // configuration are reproducible.
-type LiveEvaluator struct {
-	Bench *Benchmark
-	Obj   Objective
-	Seed  uint64
-}
-
-// MeasureWorkflow implements tuner.Evaluator.
-func (e *LiveEvaluator) MeasureWorkflow(cfg Config) (float64, error) {
-	w, err := e.Bench.Build(cfg)
-	if err != nil {
-		return 0, err
-	}
-	meas, err := w.Measure(e.noise("wf", cfg))
-	if err != nil {
-		return 0, err
-	}
-	return e.pick(meas), nil
-}
-
-// MeasureComponent implements tuner.Evaluator.
-func (e *LiveEvaluator) MeasureComponent(j int, cfg Config) (float64, error) {
-	if j < 0 || j >= len(e.Bench.Components) {
-		return 0, fmt.Errorf("ceal: component index %d out of range", j)
-	}
-	cs := e.Bench.Components[j]
-	meas, err := workflow.MeasureSolo(e.Bench.Machine, cs.BuildSolo(cfg), cs.InBytesPerStep, e.noise(cs.Name, cfg))
-	if err != nil {
-		return 0, err
-	}
-	return e.pick(meas), nil
-}
-
-func (e *LiveEvaluator) pick(meas Measurement) float64 {
-	switch e.Obj {
-	case ExecTime:
-		return meas.ExecTime
-	case CompTime:
-		return meas.CompTime
-	default:
-		return meas.EnergyKJ
-	}
-}
-
-func (e *LiveEvaluator) noise(kind string, cfg Config) *rand.Rand {
-	h := fnv.New64a()
-	h.Write([]byte(kind))
-	h.Write([]byte(cfg.Key()))
-	return rand.New(rand.NewPCG(e.Seed, h.Sum64()))
-}
+type LiveEvaluator = live.Evaluator
 
 // NewProblem assembles a live auto-tuning problem over a benchmark: a
 // candidate pool of poolSize random valid configurations, evaluated by
@@ -265,29 +208,7 @@ func (e *LiveEvaluator) noise(kind string, cfg Config) *rand.Rand {
 // cancellation). Use GroundTruth/Experiments for the paper's pre-measured
 // evaluation methodology instead.
 func NewProblem(b *Benchmark, obj Objective, poolSize int, seed uint64) *Problem {
-	rng := rand.New(rand.NewPCG(seed, 0xcea1))
-	comps := make([]tuner.ComponentInfo, len(b.Components))
-	for j, cs := range b.Components {
-		cs := cs
-		comps[j] = tuner.ComponentInfo{Name: cs.Name, Space: cs.Space}
-		comps[j].Cores = func(cfg Config) float64 {
-			return float64(cs.BuildSolo(cfg).Nodes() * b.Machine.CoresPerNode)
-		}
-		if cs.Space != nil {
-			comps[j].Features = func(cfg Config) []float64 { return cs.Features(b.Machine, cfg) }
-		}
-	}
-	return &Problem{
-		Name:         fmt.Sprintf("%s/%s", b.Name, obj.Short()),
-		Space:        b.Space,
-		Components:   comps,
-		Pool:         b.Space.SampleN(rng, poolSize),
-		Eval:         &LiveEvaluator{Bench: b, Obj: obj, Seed: seed},
-		Combiner:     acm.ForObjective(obj != ExecTime),
-		Features:     b.Features,
-		FeatureNames: b.FeatureNames(),
-		Seed:         seed,
-	}
+	return live.NewProblem(b, obj, poolSize, seed)
 }
 
 // BuildGroundTruth pre-measures a benchmark for the paper's experiment

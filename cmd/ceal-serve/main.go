@@ -1,0 +1,115 @@
+// Command ceal-serve runs the auto-tuner as a long-lived HTTP service: a
+// facility-side daemon that accepts tuning jobs, runs them concurrently on
+// a bounded worker pool, streams each run's live event trace, and persists
+// finished runs so identical resubmissions are served from the store.
+//
+// Usage:
+//
+//	ceal-serve -addr :8080 -workers 2 -queue 16 -store runs.jsonl
+//
+//	curl -X POST localhost:8080/v1/runs -d '{"benchmark":"LV","algorithm":"ceal","budget":50}'
+//	curl localhost:8080/v1/runs/run-000001
+//	curl localhost:8080/v1/runs/run-000001/events        # live JSONL trace
+//	curl -X DELETE localhost:8080/v1/runs/run-000001     # cancel
+//
+// SIGINT/SIGTERM drain gracefully: no new jobs are admitted, in-flight
+// runs are cancelled (they abort within one measurement batch), and the
+// run store is flushed before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ceal/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment explicit, so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ceal-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		workers   = fs.Int("workers", 2, "concurrent tuning runs")
+		queue     = fs.Int("queue", 16, "admission queue limit")
+		storePath = fs.String("store", "", "JSONL run-store path (empty: in-memory only)")
+		drain     = fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "ceal-serve: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	var store service.Store
+	if *storePath != "" {
+		fst, err := service.OpenFileStore(*storePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "ceal-serve:", err)
+			return 1
+		}
+		store = fst
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, *addr, *workers, *queue, store, *drain, stdout, stderr)
+}
+
+// serve listens on addr and blocks until ctx is cancelled (signal) or the
+// listener fails, then drains the manager within the deadline.
+func serve(ctx context.Context, addr string, workers, queue int, store service.Store, drain time.Duration, stdout, stderr io.Writer) int {
+	mgr := service.NewManager(service.Options{Workers: workers, QueueLimit: queue, Store: store})
+	srv := &http.Server{Handler: service.NewServer(mgr)}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "ceal-serve:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ceal-serve: listening on %s (%d workers, queue %d)\n", ln.Addr(), workers, queue)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	code := 0
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "ceal-serve: shutting down")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "ceal-serve:", err)
+			code = 1
+		}
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// Drain the manager first: cancelling the jobs closes their event hubs,
+	// which ends any live trace streams — otherwise srv.Shutdown would wait
+	// on them until the deadline.
+	if err := mgr.Shutdown(dctx); err != nil {
+		fmt.Fprintln(stderr, "ceal-serve: drain:", err)
+		code = 1
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(stderr, "ceal-serve: http shutdown:", err)
+		code = 1
+	}
+	return code
+}

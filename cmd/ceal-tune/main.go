@@ -7,15 +7,21 @@
 //	ceal-tune -workflow LV -objective comp -budget 50
 //	ceal-tune -workflow HS -objective exec -algorithm al -budget 100
 //	ceal-tune -workflow GP -budget 50 -workers 8 -timeout 2m
+//
+// SIGINT/SIGTERM cancel the run; tuning aborts within one measurement
+// batch.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"ceal"
@@ -23,20 +29,39 @@ import (
 )
 
 func main() {
-	var (
-		wfName  = flag.String("workflow", "LV", "benchmark workflow: LV, HS, or GP")
-		objName = flag.String("objective", "comp", "optimization objective: exec or comp")
-		algName = flag.String("algorithm", "ceal", "rs, al, geist, alph, ceal, bo, hyboost, or knnselect")
-		budget  = flag.Int("budget", 50, "measurement budget in workflow-run equivalents")
-		pool    = flag.Int("pool", 2000, "candidate pool size")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		workers = flag.Int("workers", 1, "parallel measurement and pool-scoring width")
-		timeout = flag.Duration("timeout", 0, "abort tuning after this long (0: no limit)")
-		trace   = flag.String("trace", "", "stream run events as JSONL to this file (\"-\" for stdout)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	ctx := context.Background()
+// run is main with its environment explicit, so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ceal-tune", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		wfName  = fs.String("workflow", "LV", "benchmark workflow: LV, HS, or GP")
+		objName = fs.String("objective", "comp", "optimization objective: exec or comp")
+		algName = fs.String("algorithm", "ceal", "rs, al, geist, alph, ceal, bo, hyboost, or knnselect")
+		budget  = fs.Int("budget", 50, "measurement budget in workflow-run equivalents")
+		pool    = fs.Int("pool", 2000, "candidate pool size")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		workers = fs.Int("workers", 1, "parallel measurement and pool-scoring width")
+		timeout = fs.Duration("timeout", 0, "abort tuning after this long (0: no limit)")
+		trace   = fs.String("trace", "", "stream run events as JSONL to this file (\"-\" for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "ceal-tune: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "ceal-tune:", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -46,34 +71,35 @@ func main() {
 	m := ceal.DefaultMachine()
 	b, err := ceal.BenchmarkByName(m, strings.ToUpper(*wfName))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	obj, expert, unit := ceal.CompTime, b.ExpertComp, "core-hours"
 	if *objName == "exec" {
 		obj, expert, unit = ceal.ExecTime, b.ExpertExec, "s"
 	} else if *objName != "comp" {
-		fatal(fmt.Errorf("unknown objective %q (want exec or comp)", *objName))
+		return fail(fmt.Errorf("unknown objective %q (want exec or comp)", *objName))
 	}
 	alg, err := ceal.AlgorithmByName(*algName)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
-	fmt.Printf("tuning %s for %s with %s (budget %d runs, pool %d, %d workers)\n",
+	fmt.Fprintf(stdout, "tuning %s for %s with %s (budget %d runs, pool %d, %d workers)\n",
 		b.Name, obj, alg.Name(), *budget, *pool, *workers)
 	problem := ceal.NewProblem(b, obj, *pool, *seed)
 	problem.Runner = &emews.Runner{Workers: *workers, MaxRetries: 3}
 	problem.Workers = *workers
 	problem.Ctx = ctx
 	var traceSink *ceal.JSONLWriter
+	var traceFile *os.File
 	if *trace != "" {
-		w := os.Stdout
+		w := io.Writer(stdout)
 		if *trace != "-" {
 			f, err := os.Create(*trace)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
-			defer f.Close()
+			traceFile = f
 			w = f
 		}
 		traceSink = ceal.NewJSONLWriter(w)
@@ -82,15 +108,26 @@ func main() {
 	start := time.Now()
 	res, err := alg.Tune(problem, *budget)
 	if err != nil {
-		fatal(err)
+		if traceFile != nil {
+			traceFile.Close()
+		}
+		return fail(err)
 	}
 	elapsed := time.Since(start)
 	if traceSink != nil {
+		// A broken trace sink (full disk, closed pipe) fails the run: a
+		// silently truncated trace is worse than no trace.
 		if err := traceSink.Err(); err != nil {
-			fmt.Fprintln(os.Stderr, "ceal-tune: trace write:", err)
+			if traceFile != nil {
+				traceFile.Close()
+			}
+			return fail(fmt.Errorf("trace write: %w", err))
 		}
-		if *trace != "-" {
-			fmt.Printf("run-event trace written to %s\n", *trace)
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				return fail(fmt.Errorf("trace close: %w", err))
+			}
+			fmt.Fprintf(stdout, "run-event trace written to %s\n", *trace)
 		}
 	}
 
@@ -99,30 +136,31 @@ func main() {
 	// back as a cache hit rather than a fresh simulation.
 	verify, err := problem.Collector().MeasureWorkflows(ctx, []ceal.Config{res.Best, expert})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	tuned, expertVal := verify[0].Value, verify[1].Value
 
-	fmt.Printf("\nrecommended configuration %v\n", res.Best)
-	fmt.Printf("  measured %s: %.4g %s\n", obj, tuned, unit)
-	fmt.Printf("  expert config %v: %.4g %s\n", expert, expertVal, unit)
+	fmt.Fprintf(stdout, "\nrecommended configuration %v\n", res.Best)
+	fmt.Fprintf(stdout, "  measured %s: %.4g %s\n", obj, tuned, unit)
+	fmt.Fprintf(stdout, "  expert config %v: %.4g %s\n", expert, expertVal, unit)
 	if expertVal > tuned {
-		fmt.Printf("  improvement over expert: %.1f%%\n", (1-tuned/expertVal)*100)
-		fmt.Printf("  collection cost: %.4g %s -> recoups after %.0f tuned runs\n",
+		fmt.Fprintf(stdout, "  improvement over expert: %.1f%%\n", (1-tuned/expertVal)*100)
+		fmt.Fprintf(stdout, "  collection cost: %.4g %s -> recoups after %.0f tuned runs\n",
 			res.CollectionCost, unit, res.CollectionCost/(expertVal-tuned))
 	} else {
-		fmt.Printf("  no improvement over the expert configuration\n")
+		fmt.Fprintf(stdout, "  no improvement over the expert configuration\n")
 	}
-	fmt.Printf("  workflow samples measured: %d (tuner wall time %v)\n", len(res.Samples), elapsed.Round(time.Millisecond))
-	fmt.Printf("  collector: %s\n", problem.Collector().Stats())
+	fmt.Fprintf(stdout, "  workflow samples measured: %d (tuner wall time %v)\n", len(res.Samples), elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "  collector: %s\n", problem.Collector().Stats())
 	if res.SwitchIteration >= 0 {
-		fmt.Printf("  CEAL switched to the high-fidelity model at iteration %d\n", res.SwitchIteration)
+		fmt.Fprintf(stdout, "  CEAL switched to the high-fidelity model at iteration %d\n", res.SwitchIteration)
 	}
-	printImportance(problem.FeatureNames, res.Importance)
+	printImportance(stdout, problem.FeatureNames, res.Importance)
+	return 0
 }
 
 // printImportance lists the surrogate's three most influential features.
-func printImportance(names []string, imp []float64) {
+func printImportance(w io.Writer, names []string, imp []float64) {
 	if len(imp) == 0 || len(names) != len(imp) {
 		return
 	}
@@ -135,14 +173,9 @@ func printImportance(names []string, imp []float64) {
 		all[i] = fi{names[i], imp[i]}
 	}
 	sort.Slice(all, func(a, b int) bool { return all[a].v > all[b].v })
-	fmt.Printf("  most influential parameters (surrogate gain):")
+	fmt.Fprintf(w, "  most influential parameters (surrogate gain):")
 	for i := 0; i < 3 && i < len(all); i++ {
-		fmt.Printf(" %s %.0f%%", all[i].name, all[i].v*100)
+		fmt.Fprintf(w, " %s %.0f%%", all[i].name, all[i].v*100)
 	}
-	fmt.Println()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ceal-tune:", err)
-	os.Exit(1)
+	fmt.Fprintln(w)
 }

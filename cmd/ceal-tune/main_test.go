@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagAndNameErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		err  string
+	}{
+		{"unknown flag", []string{"-bogus"}, 2, ""},
+		{"positional args", []string{"LV"}, 2, "unexpected arguments"},
+		{"bad workflow", []string{"-workflow", "XX"}, 1, "XX"},
+		{"bad objective", []string{"-objective", "sideways"}, 1, "sideways"},
+		{"bad algorithm", []string{"-algorithm", "gradient-descent"}, 1, "gradient-descent"},
+		{"bad trace path", []string{"-trace", filepath.Join("no", "such", "dir", "t.jsonl")}, 1, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if code := run(tc.args, &out, &errOut); code != tc.code {
+				t.Fatalf("exit = %d, want %d (stderr %q)", code, tc.code, errOut.String())
+			}
+			if tc.err != "" && !strings.Contains(errOut.String(), tc.err) {
+				t.Fatalf("stderr = %q, want substring %q", errOut.String(), tc.err)
+			}
+		})
+	}
+}
+
+func TestRunTinyTuneWithTrace(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out, errOut bytes.Buffer
+	args := []string{"-workflow", "LV", "-algorithm", "rs", "-budget", "5", "-pool", "30", "-trace", tracePath}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"recommended configuration", "workflow samples measured: 5", "run-event trace written"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte(`{"event":"run_started"`)) {
+		t.Fatalf("trace does not open with run_started:\n%s", data)
+	}
+	if !bytes.Contains(data, []byte(`"event":"run_finished"`)) {
+		t.Fatalf("trace missing run_finished:\n%s", data)
+	}
+}
+
+func TestRunTraceToStdout(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-workflow", "LV", "-algorithm", "rs", "-budget", "5", "-pool", "30", "-trace", "-"}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), `"event":"run_finished"`) {
+		t.Fatalf("stdout missing inline trace:\n%s", out.String())
+	}
+}

@@ -9,15 +9,19 @@
 //
 // Paper-scale settings (-reps 100 -pool 2000 -compsamples 500) match §7.1
 // and §7.3 but take correspondingly longer; the defaults trade a little
-// replication for speed.
+// replication for speed. SIGINT/SIGTERM cancel the run between simulation
+// batches.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"ceal"
@@ -25,21 +29,40 @@ import (
 )
 
 func main() {
-	var (
-		expID   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		reps    = flag.Int("reps", 25, "replications per algorithm (paper: 100)")
-		pool    = flag.Int("pool", 2000, "workflow pool size (paper: 2000)")
-		compN   = flag.Int("compsamples", 500, "solo runs per component (paper: 500)")
-		seed    = flag.Uint64("seed", 1, "base random seed")
-		workers = flag.Int("workers", 8, "parallel simulation and replication width")
-		timeout = flag.Duration("timeout", 0, "abort the run after this long (0: no limit)")
-		cache   = flag.String("cache", "", "directory for ground-truth caching (load if present, save after build)")
-		format  = flag.String("format", "text", "output format: text or csv")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	ctx := context.Background()
+// run is main with its environment explicit, so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paperexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		expID   = fs.String("exp", "all", "experiment id (see -list) or 'all'")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		reps    = fs.Int("reps", 25, "replications per algorithm (paper: 100)")
+		pool    = fs.Int("pool", 2000, "workflow pool size (paper: 2000)")
+		compN   = fs.Int("compsamples", 500, "solo runs per component (paper: 500)")
+		seed    = fs.Uint64("seed", 1, "base random seed")
+		workers = fs.Int("workers", 8, "parallel simulation and replication width")
+		timeout = fs.Duration("timeout", 0, "abort the run after this long (0: no limit)")
+		cache   = fs.String("cache", "", "directory for ground-truth caching (load if present, save after build)")
+		format  = fs.String("format", "text", "output format: text or csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "paperexp: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "paperexp:", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -48,9 +71,9 @@ func main() {
 
 	if *list {
 		for _, e := range paperexp.All() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	var exps []paperexp.Experiment
@@ -59,9 +82,12 @@ func main() {
 	} else {
 		e, err := paperexp.ByID(*expID)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		exps = []paperexp.Experiment{e}
+	}
+	if *format != "text" && *format != "csv" {
+		return fail(fmt.Errorf("unknown format %q (want text or csv)", *format))
 	}
 
 	opt := paperexp.Options{
@@ -95,27 +121,27 @@ func main() {
 			cachePath = filepath.Join(*cache,
 				fmt.Sprintf("%s-p%d-c%d-s%d.gt.json.gz", wf, *pool, *compN, *seed))
 			if gt, err := paperexp.LoadGroundTruth(cachePath, m); err == nil {
-				fmt.Fprintf(os.Stderr, "loaded %s ground truth from %s\n", wf, cachePath)
+				fmt.Fprintf(stderr, "loaded %s ground truth from %s\n", wf, cachePath)
 				gts[wf] = gt
 				continue
 			}
 		}
 		b, err := ceal.BenchmarkByName(m, wf)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "building %s ground truth (%d pool + %d/component solo runs)... ",
+		fmt.Fprintf(stderr, "building %s ground truth (%d pool + %d/component solo runs)... ",
 			wf, opt.Build.PoolSize, opt.Build.ComponentSamples)
 		gt, err := paperexp.BuildGroundTruth(b, opt.Build)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 		if cachePath != "" {
 			if err := os.MkdirAll(*cache, 0o755); err == nil {
 				if err := gt.Save(cachePath); err != nil {
-					fmt.Fprintf(os.Stderr, "warning: cache save failed: %v\n", err)
+					fmt.Fprintf(stderr, "warning: cache save failed: %v\n", err)
 				}
 			}
 		}
@@ -126,20 +152,16 @@ func main() {
 		start := time.Now()
 		tables, err := e.Run(gts, opt)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
+			return fail(fmt.Errorf("%s: %w", e.ID, err))
 		}
-		fmt.Printf("\n##### %s (%v)\n\n", e.Title, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "\n##### %s (%v)\n\n", e.Title, time.Since(start).Round(time.Millisecond))
 		for _, t := range tables {
 			if *format == "csv" {
-				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+				fmt.Fprintf(stdout, "# %s\n%s\n", t.Title, t.CSV())
 			} else {
-				fmt.Println(t.String())
+				fmt.Fprintln(stdout, t.String())
 			}
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "paperexp:", err)
-	os.Exit(1)
+	return 0
 }

@@ -56,28 +56,29 @@ type Sample struct {
 	Value float64
 }
 
-// Stats is a point-in-time snapshot of a Collector's counters.
+// Stats is a point-in-time snapshot of a Collector's counters. The JSON
+// form is part of the tuning service's run records (internal/service).
 type Stats struct {
 	// Hits counts measurements served from the memoization cache.
-	Hits uint64
+	Hits uint64 `json:"hits"`
 	// Misses counts fresh evaluations dispatched to the runner.
-	Misses uint64
+	Misses uint64 `json:"misses"`
 	// Coalesced counts requests folded into an identical measurement that
 	// was already in flight (single-flight deduplication).
-	Coalesced uint64
+	Coalesced uint64 `json:"coalesced"`
 	// Retries counts task relaunches performed by the runner after
 	// failures (injected or real).
-	Retries uint64
+	Retries uint64 `json:"retries"`
 	// Errors counts batches that failed (retries exhausted or context
 	// cancelled).
-	Errors uint64
+	Errors uint64 `json:"errors"`
 	// WorkflowRuns and ComponentRuns split Misses by measurement kind.
-	WorkflowRuns  uint64
-	ComponentRuns uint64
+	WorkflowRuns  uint64 `json:"workflow_runs"`
+	ComponentRuns uint64 `json:"component_runs"`
 	// InFlight is the number of distinct keys under measurement right now;
 	// InFlightPeak is the maximum that was ever concurrently in flight.
-	InFlight     int
-	InFlightPeak int
+	InFlight     int `json:"in_flight"`
+	InFlightPeak int `json:"in_flight_peak"`
 }
 
 // String renders the snapshot as a one-line summary for CLIs and logs.

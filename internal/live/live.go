@@ -1,0 +1,145 @@
+// Package live assembles runnable auto-tuning problems over the cluster
+// simulator: the "live" measurement path, as opposed to the experiment
+// harness's pre-measured ground truths (internal/paperexp). It owns the
+// benchmark → problem wiring — pool sampling, component metadata, the
+// simulator-backed evaluator — and the by-name registries for algorithms
+// and objectives, so both the public facade (package ceal) and the tuning
+// service (internal/service) build identical problems from the same spec.
+package live
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"strings"
+
+	"ceal/internal/acm"
+	"ceal/internal/cfgspace"
+	"ceal/internal/paperexp"
+	"ceal/internal/tuner"
+	"ceal/internal/workflow"
+)
+
+// Evaluator measures configurations by actually running the cluster
+// simulator. Noise is keyed to the configuration so repeated measurements
+// of the same configuration are reproducible.
+type Evaluator struct {
+	Bench *workflow.Benchmark
+	Obj   paperexp.Objective
+	Seed  uint64
+}
+
+// MeasureWorkflow implements collector.Evaluator.
+func (e *Evaluator) MeasureWorkflow(cfg cfgspace.Config) (float64, error) {
+	w, err := e.Bench.Build(cfg)
+	if err != nil {
+		return 0, err
+	}
+	meas, err := w.Measure(e.noise("wf", cfg))
+	if err != nil {
+		return 0, err
+	}
+	return e.pick(meas), nil
+}
+
+// MeasureComponent implements collector.Evaluator.
+func (e *Evaluator) MeasureComponent(j int, cfg cfgspace.Config) (float64, error) {
+	if j < 0 || j >= len(e.Bench.Components) {
+		return 0, fmt.Errorf("live: component index %d out of range", j)
+	}
+	cs := e.Bench.Components[j]
+	meas, err := workflow.MeasureSolo(e.Bench.Machine, cs.BuildSolo(cfg), cs.InBytesPerStep, e.noise(cs.Name, cfg))
+	if err != nil {
+		return 0, err
+	}
+	return e.pick(meas), nil
+}
+
+func (e *Evaluator) pick(meas workflow.Measurement) float64 {
+	switch e.Obj {
+	case paperexp.ExecTime:
+		return meas.ExecTime
+	case paperexp.CompTime:
+		return meas.CompTime
+	default:
+		return meas.EnergyKJ
+	}
+}
+
+func (e *Evaluator) noise(kind string, cfg cfgspace.Config) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(kind))
+	h.Write([]byte(cfg.Key()))
+	return rand.New(rand.NewPCG(e.Seed, h.Sum64()))
+}
+
+// NewProblem assembles a live auto-tuning problem over a benchmark: a
+// candidate pool of poolSize random valid configurations, evaluated by
+// running the simulator on demand through the problem's caching collector.
+// Everything is deterministic from seed: the pool, the evaluator's noise
+// and the algorithm's random stream all derive from it.
+func NewProblem(b *workflow.Benchmark, obj paperexp.Objective, poolSize int, seed uint64) *tuner.Problem {
+	rng := rand.New(rand.NewPCG(seed, 0xcea1))
+	comps := make([]tuner.ComponentInfo, len(b.Components))
+	for j, cs := range b.Components {
+		cs := cs
+		comps[j] = tuner.ComponentInfo{Name: cs.Name, Space: cs.Space}
+		comps[j].Cores = func(cfg cfgspace.Config) float64 {
+			return float64(cs.BuildSolo(cfg).Nodes() * b.Machine.CoresPerNode)
+		}
+		if cs.Space != nil {
+			comps[j].Features = func(cfg cfgspace.Config) []float64 { return cs.Features(b.Machine, cfg) }
+		}
+	}
+	return &tuner.Problem{
+		Name:         fmt.Sprintf("%s/%s", b.Name, obj.Short()),
+		Space:        b.Space,
+		Components:   comps,
+		Pool:         b.Space.SampleN(rng, poolSize),
+		Eval:         &Evaluator{Bench: b, Obj: obj, Seed: seed},
+		Combiner:     acm.ForObjective(obj != paperexp.ExecTime),
+		Features:     b.Features,
+		FeatureNames: b.FeatureNames(),
+		Seed:         seed,
+	}
+}
+
+// AlgorithmByName maps a name (rs, al, geist, alph, ceal, bo, hyboost,
+// knnselect) to a fresh algorithm instance with default options.
+func AlgorithmByName(name string) (tuner.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "rs":
+		return tuner.RS{}, nil
+	case "al":
+		return tuner.NewAL(), nil
+	case "geist":
+		return tuner.NewGEIST(), nil
+	case "alph":
+		return tuner.NewALpH(), nil
+	case "ceal":
+		return tuner.NewCEAL(), nil
+	case "bo":
+		return tuner.NewBO(), nil
+	case "hyboost":
+		return tuner.NewHyBoost(), nil
+	case "knnselect":
+		return tuner.NewKNNSelect(), nil
+	default:
+		return nil, fmt.Errorf("ceal: unknown algorithm %q", name)
+	}
+}
+
+// ParseObjective maps a short objective name (exec, comp, energy) to its
+// Objective.
+func ParseObjective(name string) (paperexp.Objective, error) {
+	switch strings.ToLower(name) {
+	case "exec":
+		return paperexp.ExecTime, nil
+	case "comp":
+		return paperexp.CompTime, nil
+	case "energy":
+		return paperexp.Energy, nil
+	default:
+		return 0, fmt.Errorf("ceal: unknown objective %q (want exec, comp, or energy)", name)
+	}
+}

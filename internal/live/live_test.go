@@ -1,0 +1,67 @@
+package live
+
+import (
+	"testing"
+
+	"ceal/internal/cluster"
+	"ceal/internal/workflow"
+)
+
+func TestParseObjective(t *testing.T) {
+	for _, name := range []string{"exec", "comp", "energy"} {
+		if _, err := ParseObjective(name); err != nil {
+			t.Fatalf("ParseObjective(%q): %v", name, err)
+		}
+	}
+	if _, err := ParseObjective("sideways"); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}
+
+func TestAlgorithmByName(t *testing.T) {
+	for _, name := range []string{"rs", "al", "geist", "alph", "ceal", "bo", "hyboost", "knnselect"} {
+		alg, err := AlgorithmByName(name)
+		if err != nil {
+			t.Fatalf("AlgorithmByName(%q): %v", name, err)
+		}
+		if alg == nil {
+			t.Fatalf("AlgorithmByName(%q) returned nil", name)
+		}
+	}
+	if _, err := AlgorithmByName("gradient-descent"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestNewProblemDeterministic(t *testing.T) {
+	bench, err := workflow.ByName(cluster.Default(), "LV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := ParseObjective("comp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := NewProblem(bench, obj, 40, 7)
+	p2 := NewProblem(bench, obj, 40, 7)
+	if len(p1.Pool) != 40 || p1.Seed != 7 {
+		t.Fatalf("pool %d seed %d", len(p1.Pool), p1.Seed)
+	}
+	for i := range p1.Pool {
+		if p1.Pool[i].Key() != p2.Pool[i].Key() {
+			t.Fatalf("pool diverged at %d", i)
+		}
+	}
+	// Same config, same seed: the noisy evaluator must be reproducible.
+	v1, err := p1.Eval.MeasureWorkflow(p1.Pool[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := p2.Eval.MeasureWorkflow(p2.Pool[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatalf("evaluator not deterministic: %v vs %v", v1, v2)
+	}
+}

@@ -1,0 +1,418 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ceal/internal/tuner"
+	"ceal/internal/tuner/events"
+)
+
+// Submission and lifecycle errors surfaced by the Manager (the HTTP layer
+// maps them to status codes).
+var (
+	// ErrQueueFull rejects a submission when the admission queue is at
+	// capacity (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining rejects submissions during graceful shutdown (HTTP 503).
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrNotFound reports an unknown run ID (HTTP 404).
+	ErrNotFound = errors.New("service: run not found")
+	// ErrFinished rejects cancelling an already-finished run (HTTP 409).
+	ErrFinished = errors.New("service: run already finished")
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Workers is the number of tuning jobs run concurrently (default 2).
+	Workers int
+	// QueueLimit bounds the number of jobs admitted but not yet running
+	// (default 16); submissions beyond it fail with ErrQueueFull.
+	QueueLimit int
+	// Store persists run records (default: a fresh MemStore). The Manager
+	// owns it and closes it on Shutdown.
+	Store Store
+	// Build assembles the problem and algorithm for a normalized spec
+	// (default JobSpec.Build; tests inject instrumented problems here).
+	Build func(JobSpec) (*tuner.Problem, tuner.Algorithm, error)
+}
+
+// Metrics is a snapshot of the manager's counters — the /metrics payload.
+type Metrics struct {
+	Submitted uint64 `json:"runs_submitted"`
+	Started   uint64 `json:"runs_started"`
+	Finished  uint64 `json:"runs_finished"`
+	Failed    uint64 `json:"runs_failed"`
+	Cancelled uint64 `json:"runs_cancelled"`
+	// Deduped counts submissions served from the store or joined onto an
+	// identical in-flight run instead of re-running.
+	Deduped    uint64 `json:"runs_deduped"`
+	QueueDepth int    `json:"queue_depth"`
+	Running    int    `json:"running"`
+	Workers    int    `json:"workers"`
+	// Aggregated collector cache behaviour across finished runs.
+	CacheHits   uint64 `json:"collector_cache_hits"`
+	CacheMisses uint64 `json:"collector_cache_misses"`
+	Coalesced   uint64 `json:"collector_coalesced"`
+	Retries     uint64 `json:"collector_retries"`
+}
+
+// job is one live (queued or running) run.
+type job struct {
+	rec    *RunRecord // guarded by Manager.mu
+	hub    *hub
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Manager owns the job queue and the bounded worker pool that drains it.
+// Every submitted spec becomes a RunRecord that is written through to the
+// Store at each lifecycle transition, so the store always reflects current
+// state and survives restarts (with FileStore).
+type Manager struct {
+	opts  Options
+	store Store
+	queue chan *job
+
+	mu       sync.Mutex
+	jobs     map[string]*job // live jobs by ID
+	byKey    map[string]*job // in-flight dedup by spec key
+	seq      int
+	draining bool
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	submitted, started, finished atomic.Uint64
+	failed, cancelled, deduped   atomic.Uint64
+	running                      atomic.Int64
+	cacheHits, cacheMisses       atomic.Uint64
+	coalesced, retries           atomic.Uint64
+
+	now func() time.Time
+}
+
+// NewManager starts a manager with opts and its worker pool.
+func NewManager(opts Options) *Manager {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.QueueLimit <= 0 {
+		opts.QueueLimit = 16
+	}
+	if opts.Store == nil {
+		opts.Store = NewMemStore()
+	}
+	if opts.Build == nil {
+		opts.Build = func(spec JobSpec) (*tuner.Problem, tuner.Algorithm, error) { return spec.Build() }
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:       opts,
+		store:      opts.Store,
+		queue:      make(chan *job, opts.QueueLimit),
+		jobs:       make(map[string]*job),
+		byKey:      make(map[string]*job),
+		seq:        maxSeq(opts.Store),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		now:        time.Now,
+	}
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// maxSeq resumes the run-ID counter past every ID already in the store.
+func maxSeq(s Store) int {
+	max := 0
+	for _, rec := range s.List() {
+		var n int
+		if _, err := fmt.Sscanf(rec.ID, "run-%d", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Submit admits a tuning job. The returned record is a snapshot; fresh
+// reports whether a new run was queued (false: served from the store or
+// joined onto an identical in-flight run).
+func (m *Manager) Submit(spec JobSpec) (rec *RunRecord, fresh bool, err error) {
+	spec = spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, false, err
+	}
+	key := spec.Key()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, false, ErrDraining
+	}
+	// An identical spec already queued or running: join it.
+	if j, ok := m.byKey[key]; ok {
+		m.deduped.Add(1)
+		return j.rec.clone(), false, nil
+	}
+	// An identical spec already completed: serve it from the store.
+	if stored, ok := m.store.BySpec(key); ok {
+		m.deduped.Add(1)
+		return stored, false, nil
+	}
+
+	m.seq++
+	j := &job{
+		rec: &RunRecord{
+			ID:          fmt.Sprintf("run-%06d", m.seq),
+			Spec:        spec,
+			SpecKey:     key,
+			State:       StateQueued,
+			SubmittedAt: m.now(),
+		},
+		hub:  newHub(),
+		done: make(chan struct{}),
+	}
+	j.ctx, j.cancel = context.WithCancel(m.rootCtx)
+	select {
+	case m.queue <- j:
+	default:
+		m.seq--
+		return nil, false, ErrQueueFull
+	}
+	m.jobs[j.rec.ID] = j
+	m.byKey[key] = j
+	m.submitted.Add(1)
+	if err := m.store.Save(j.rec); err != nil {
+		// The job still runs; persistence of later transitions may succeed.
+		// The record itself is unaffected.
+		_ = err
+	}
+	return j.rec.clone(), true, nil
+}
+
+// worker drains the queue until Shutdown closes it.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// runJob drives one job from queued to a terminal state.
+func (m *Manager) runJob(j *job) {
+	defer close(j.done)
+
+	m.mu.Lock()
+	if j.ctx.Err() != nil {
+		// Cancelled while queued (or the daemon is shutting down).
+		m.finalize(j, nil, j.ctx.Err())
+		m.mu.Unlock()
+		return
+	}
+	j.rec.State = StateRunning
+	j.rec.StartedAt = m.now()
+	m.saveLocked(j)
+	m.mu.Unlock()
+	m.started.Add(1)
+	m.running.Add(1)
+	defer m.running.Add(-1)
+
+	p, alg, err := m.opts.Build(j.rec.Spec)
+	if err != nil {
+		m.mu.Lock()
+		m.finalize(j, nil, err)
+		m.mu.Unlock()
+		return
+	}
+	p.Ctx = j.ctx
+	p.Observer = events.Multi(p.Observer, j.hub)
+
+	res, err := alg.Tune(p, j.rec.Spec.Budget)
+
+	st := p.Collector().Stats()
+	m.cacheHits.Add(st.Hits)
+	m.cacheMisses.Add(st.Misses)
+	m.coalesced.Add(st.Coalesced)
+	m.retries.Add(st.Retries)
+
+	m.mu.Lock()
+	j.rec.Collector = st
+	m.finalize(j, res, err)
+	m.mu.Unlock()
+}
+
+// finalize moves a job to its terminal state, persists it, and retires it
+// from the live maps. It is idempotent: a job cancelled while queued is
+// finalized by Cancel, and the worker that later pops it must not count it
+// twice. Callers hold m.mu.
+func (m *Manager) finalize(j *job, res *tuner.Result, err error) {
+	if j.rec.State.Terminal() {
+		return
+	}
+	j.hub.Close()
+	j.rec.FinishedAt = m.now()
+	j.rec.Trace = j.hub.Lines()
+	switch {
+	case err == nil:
+		j.rec.State = StateDone
+		j.rec.Result = res
+		m.finished.Add(1)
+	case errors.Is(err, context.Canceled) || j.ctx.Err() != nil:
+		j.rec.State = StateCancelled
+		j.rec.Error = err.Error()
+		m.cancelled.Add(1)
+	default:
+		j.rec.State = StateFailed
+		j.rec.Error = err.Error()
+		m.failed.Add(1)
+	}
+	m.saveLocked(j)
+	delete(m.jobs, j.rec.ID)
+	if m.byKey[j.rec.SpecKey] == j {
+		delete(m.byKey, j.rec.SpecKey)
+	}
+}
+
+// saveLocked persists the job's current record snapshot. Store failures
+// never fail the run. Callers hold m.mu.
+func (m *Manager) saveLocked(j *job) {
+	_ = m.store.Save(j.rec)
+}
+
+// Get returns a snapshot of a run: live state if the job is in flight,
+// otherwise the stored record.
+func (m *Manager) Get(id string) (*RunRecord, bool) {
+	m.mu.Lock()
+	if j, ok := m.jobs[id]; ok {
+		rec := j.rec.clone()
+		m.mu.Unlock()
+		return rec, true
+	}
+	m.mu.Unlock()
+	return m.store.Get(id)
+}
+
+// List returns every known run, live and stored, ordered by submission.
+func (m *Manager) List() []*RunRecord {
+	// Live jobs are written through on every transition, so the store's
+	// view is complete; live snapshots are fresher only within a
+	// transition, which Get covers.
+	return m.store.List()
+}
+
+// Cancel requests cancellation of a queued or running run. The returned
+// snapshot reflects the state at return time: queued jobs are terminal
+// immediately, running jobs finish (as cancelled) within one measurement
+// batch.
+func (m *Manager) Cancel(id string) (*RunRecord, error) {
+	m.mu.Lock()
+	if j, ok := m.jobs[id]; ok {
+		j.cancel()
+		if j.rec.State == StateQueued {
+			// The worker that eventually pops it will see the cancelled
+			// context; reflect the terminal state now.
+			m.finalize(j, nil, context.Canceled)
+		}
+		rec := j.rec.clone()
+		m.mu.Unlock()
+		return rec, nil
+	}
+	m.mu.Unlock()
+	if rec, ok := m.store.Get(id); ok {
+		return rec, ErrFinished
+	}
+	return nil, ErrNotFound
+}
+
+// hubFor returns the event hub of a run: the live hub for in-flight jobs,
+// or a static replay hub over the persisted trace for finished ones.
+func (m *Manager) hubFor(id string) (*hub, bool) {
+	m.mu.Lock()
+	if j, ok := m.jobs[id]; ok {
+		h := j.hub
+		m.mu.Unlock()
+		return h, true
+	}
+	m.mu.Unlock()
+	if rec, ok := m.store.Get(id); ok {
+		return staticHub(rec.Trace), true
+	}
+	return nil, false
+}
+
+// Wait blocks until the run with id leaves the live set (finishes in any
+// state) or the context is cancelled. Unknown IDs return immediately.
+func (m *Manager) Wait(ctx context.Context, id string) error {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Metrics returns a snapshot of the manager's counters.
+func (m *Manager) Metrics() Metrics {
+	return Metrics{
+		Submitted:   m.submitted.Load(),
+		Started:     m.started.Load(),
+		Finished:    m.finished.Load(),
+		Failed:      m.failed.Load(),
+		Cancelled:   m.cancelled.Load(),
+		Deduped:     m.deduped.Load(),
+		QueueDepth:  len(m.queue),
+		Running:     int(m.running.Load()),
+		Workers:     m.opts.Workers,
+		CacheHits:   m.cacheHits.Load(),
+		CacheMisses: m.cacheMisses.Load(),
+		Coalesced:   m.coalesced.Load(),
+		Retries:     m.retries.Load(),
+	}
+}
+
+// Shutdown drains the manager: stop admitting, cancel every queued and
+// running job (in-flight runs abort within one measurement batch), wait
+// for the workers — bounded by ctx — and close the store.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	m.mu.Unlock()
+
+	m.rootCancel()
+	close(m.queue)
+
+	waited := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(waited)
+	}()
+	var err error
+	select {
+	case <-waited:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if cerr := m.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

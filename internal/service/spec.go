@@ -1,0 +1,144 @@
+// Package service turns the auto-tuning library into a deployable system:
+// a job manager that runs tuning jobs concurrently on a bounded worker
+// pool, an event hub that fans each run's structured trace out to live
+// subscribers (with replay for late joiners), a Store that persists
+// finished runs, and an HTTP JSON API (cmd/ceal-serve) over all of it.
+//
+// The paper frames CEAL as the auto-tuner a facility operates for its
+// users ahead of production campaigns (§2.2); this package is that
+// operational shape. Determinism is preserved end to end: a job spec fully
+// determines its problem (pool, noise, algorithm stream all derive from
+// the seed), so a run submitted through the service returns a Result
+// byte-identical to the same Tune call made directly, and repeated
+// submissions of an identical spec are served from the store instead of
+// re-running.
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"ceal/internal/cluster"
+	"ceal/internal/emews"
+	"ceal/internal/live"
+	"ceal/internal/tuner"
+	"ceal/internal/workflow"
+)
+
+// Default spec values applied by Normalize.
+const (
+	DefaultBudget = 50
+	DefaultPool   = 2000
+)
+
+// JobSpec describes one tuning job: which benchmark workflow to tune, with
+// which algorithm, toward which objective, under which budget. It is the
+// POST /v1/runs request body. A spec fully determines its run — two
+// identical specs produce byte-identical results — which is what lets the
+// service dedupe repeated submissions against the store.
+type JobSpec struct {
+	// Benchmark is the workflow to tune: LV, HS, or GP.
+	Benchmark string `json:"benchmark"`
+	// Algorithm is the tuning algorithm: rs, al, geist, alph, ceal, bo,
+	// hyboost, or knnselect. Defaults to ceal.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Objective is the optimization metric: exec, comp, or energy.
+	// Defaults to comp.
+	Objective string `json:"objective,omitempty"`
+	// Budget is the measurement budget in workflow-run equivalents
+	// (default 50).
+	Budget int `json:"budget,omitempty"`
+	// Pool is the candidate pool size (default 2000).
+	Pool int `json:"pool,omitempty"`
+	// Seed drives every random choice of the run (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers is the per-run measurement and scoring parallelism
+	// (default 1; never changes results).
+	Workers int `json:"workers,omitempty"`
+}
+
+// Normalize returns the spec with names canonicalized (benchmark upper,
+// algorithm/objective lower) and defaults applied. Key and Build both
+// operate on the normalized form, so specs differing only in case or in
+// explicitly-spelled defaults are the same job.
+func (s JobSpec) Normalize() JobSpec {
+	s.Benchmark = strings.ToUpper(strings.TrimSpace(s.Benchmark))
+	s.Algorithm = strings.ToLower(strings.TrimSpace(s.Algorithm))
+	s.Objective = strings.ToLower(strings.TrimSpace(s.Objective))
+	if s.Algorithm == "" {
+		s.Algorithm = "ceal"
+	}
+	if s.Objective == "" {
+		s.Objective = "comp"
+	}
+	if s.Budget == 0 {
+		s.Budget = DefaultBudget
+	}
+	if s.Pool == 0 {
+		s.Pool = DefaultPool
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Workers <= 0 {
+		s.Workers = 1
+	}
+	return s
+}
+
+// Validate checks the normalized spec against the benchmark, algorithm and
+// objective registries and the numeric ranges.
+func (s JobSpec) Validate() error {
+	n := s.Normalize()
+	if _, err := workflow.ByName(cluster.Default(), n.Benchmark); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if _, err := live.AlgorithmByName(n.Algorithm); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if _, err := live.ParseObjective(n.Objective); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if n.Budget < 0 {
+		return fmt.Errorf("service: negative budget %d", n.Budget)
+	}
+	if n.Pool < 1 {
+		return fmt.Errorf("service: pool size %d below 1", n.Pool)
+	}
+	return nil
+}
+
+// Key returns the spec's canonical identity string — the store's dedup key.
+func (s JobSpec) Key() string {
+	n := s.Normalize()
+	return fmt.Sprintf("%s/%s/%s/b%d/p%d/s%d", n.Benchmark, n.Algorithm, n.Objective, n.Budget, n.Pool, n.Seed)
+}
+
+// Build assembles the runnable problem and algorithm for the spec —
+// exactly what ceal.NewProblem plus ceal.AlgorithmByName would build for
+// the same arguments, so service results are byte-identical to direct
+// Tune calls.
+func (s JobSpec) Build() (*tuner.Problem, tuner.Algorithm, error) {
+	n := s.Normalize()
+	if err := n.Validate(); err != nil {
+		return nil, nil, err
+	}
+	b, err := workflow.ByName(cluster.Default(), n.Benchmark)
+	if err != nil {
+		return nil, nil, err
+	}
+	obj, err := live.ParseObjective(n.Objective)
+	if err != nil {
+		return nil, nil, err
+	}
+	alg, err := live.AlgorithmByName(n.Algorithm)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := live.NewProblem(b, obj, n.Pool, n.Seed)
+	if n.Workers > 1 {
+		p.Runner = &emews.Runner{Workers: n.Workers, MaxRetries: 3}
+		p.Workers = n.Workers
+	}
+	return p, alg, nil
+}

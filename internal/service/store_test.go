@@ -1,0 +1,155 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ceal/internal/tuner"
+)
+
+func rec(id, key string, state RunState, at time.Time) *RunRecord {
+	return &RunRecord{ID: id, Spec: JobSpec{Benchmark: "LV"}, SpecKey: key, State: state, SubmittedAt: at}
+}
+
+func TestMemStoreBySpecOnlyDone(t *testing.T) {
+	s := NewMemStore()
+	t0 := time.Unix(1000, 0)
+	if err := s.Save(rec("run-000001", "k1", StateRunning, t0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.BySpec("k1"); ok {
+		t.Fatal("running run served from BySpec")
+	}
+	if err := s.Save(rec("run-000001", "k1", StateDone, t0)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.BySpec("k1")
+	if !ok || got.ID != "run-000001" {
+		t.Fatalf("BySpec = %v, %v", got, ok)
+	}
+	if err := s.Save(rec("run-000002", "k2", StateFailed, t0.Add(time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.BySpec("k2"); ok {
+		t.Fatal("failed run served from BySpec")
+	}
+	list := s.List()
+	if len(list) != 2 || list[0].ID != "run-000001" || list[1].ID != "run-000002" {
+		t.Fatalf("List = %v", list)
+	}
+	// Returned records are copies: mutating them must not corrupt the store.
+	list[0].State = StateQueued
+	if back, _ := s.Get("run-000001"); back.State != StateDone {
+		t.Fatal("caller mutation leaked into store")
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(2000, 0).UTC()
+
+	// A full lifecycle leaves three lines for the same ID; reload must keep
+	// only the last state.
+	r := rec("run-000003", "LV/rs/comp/b5/p30/s7", StateQueued, t0)
+	for _, st := range []RunState{StateQueued, StateRunning, StateDone} {
+		r.State = st
+		if st == StateDone {
+			r.Result = &tuner.Result{Best: []int{1, 2, 3}, CollectionCost: 42.5, SwitchIteration: -1}
+			r.Trace = []json.RawMessage{json.RawMessage(`{"event":"run_started"}`)}
+		}
+		if err := s.Save(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	got, ok := reopened.Get("run-000003")
+	if !ok || got.State != StateDone {
+		t.Fatalf("reloaded = %+v, %v", got, ok)
+	}
+	if got.Result == nil || got.Result.CollectionCost != 42.5 || got.Result.Best.Key() != "1,2,3" {
+		t.Fatalf("result lost: %+v", got.Result)
+	}
+	if len(got.Trace) != 1 || string(got.Trace[0]) != `{"event":"run_started"}` {
+		t.Fatalf("trace lost: %v", got.Trace)
+	}
+	if !got.SubmittedAt.Equal(t0) {
+		t.Fatalf("submitted_at = %v, want %v", got.SubmittedAt, t0)
+	}
+	if _, ok := reopened.BySpec("LV/rs/comp/b5/p30/s7"); !ok {
+		t.Fatal("BySpec lost across restart")
+	}
+	if n := maxSeq(reopened); n != 3 {
+		t.Fatalf("maxSeq = %d, want 3", n)
+	}
+}
+
+func TestFileStoreCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(3000, 0)
+	r := rec("run-000001", "k", StateQueued, t0)
+	for _, st := range []RunState{StateQueued, StateRunning, StateDone} {
+		r.State = st
+		if err := s.Save(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Appends must keep working after the rewrite.
+	if err := s.Save(rec("run-000002", "k2", StateQueued, t0.Add(time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 2 {
+		t.Fatalf("compacted log has %d lines, want 2\n%s", lines, data)
+	}
+	reopened, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if got, ok := reopened.Get("run-000001"); !ok || got.State != StateDone {
+		t.Fatalf("after compact: %+v, %v", got, ok)
+	}
+	if _, ok := reopened.Get("run-000002"); !ok {
+		t.Fatal("post-compact append lost")
+	}
+}
+
+func TestFileStoreRejectsCorruptLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	if err := os.WriteFile(path, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path); err == nil {
+		t.Fatal("corrupt log accepted")
+	}
+}
