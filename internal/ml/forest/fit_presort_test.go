@@ -1,0 +1,82 @@
+package forest
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"ceal/internal/score"
+)
+
+func forestData(seed uint64, n, dim int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewPCG(seed, 5))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = make([]float64, dim)
+		for f := range X[i] {
+			X[i][f] = rng.Float64() * 10
+		}
+		y[i] = X[i][0] + 0.5*X[i][1] + rng.NormFloat64()*0.2
+	}
+	return X, y
+}
+
+// TestFitOnDeterministicAcrossWorkerCounts: tree fits fan across ensemble
+// members, but all bootstrap randomness is pre-drawn serially and each tree
+// owns its slot, so predictions (mean and std) must be bitwise identical at
+// every worker count.
+func TestFitOnDeterministicAcrossWorkerCounts(t *testing.T) {
+	X, y := forestData(2, 80, 5)
+	p := Params{Trees: 30, MaxDepth: 5, ColSample: 0.8, Seed: 9}
+	serial, err := Fit(X, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes, _ := forestData(3, 40, 5)
+	for _, w := range []int{1, 2, 4, 8} {
+		f, err := FitOn(score.New(w), X, y, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Trees() != serial.Trees() {
+			t.Fatalf("workers=%d: %d trees, want %d", w, f.Trees(), serial.Trees())
+		}
+		for i, x := range probes {
+			wm, ws := serial.PredictWithStd(x)
+			gm, gs := f.PredictWithStd(x)
+			if math.Float64bits(wm) != math.Float64bits(gm) || math.Float64bits(ws) != math.Float64bits(gs) {
+				t.Fatalf("workers=%d probe %d: (%v, %v), want (%v, %v)", w, i, gm, gs, wm, ws)
+			}
+		}
+	}
+}
+
+// BenchmarkForestFit measures a serial forest fit on the shared training
+// workload shape (64×8).
+func BenchmarkForestFit(b *testing.B) {
+	X, y := forestData(1, 64, 8)
+	p := DefaultParams()
+	p.Seed = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(X, y, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestFitParallel4 fans tree fits across a 4-worker engine —
+// identical ensemble, wall-clock scaling bounded by available CPUs.
+func BenchmarkForestFitParallel4(b *testing.B) {
+	X, y := forestData(1, 64, 8)
+	p := DefaultParams()
+	p.Seed = 1
+	e := score.New(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitOn(e, X, y, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand/v2"
 
 	"ceal/internal/ml/tree"
+	"ceal/internal/score"
 )
 
 // Params configures forest training.
@@ -30,8 +31,17 @@ type Forest struct {
 	trees []*tree.Tree
 }
 
-// Fit trains the forest on bootstrap resamples of (X, y).
+// Fit trains the forest on bootstrap resamples of (X, y), serially.
 func Fit(X [][]float64, y []float64, p Params) (*Forest, error) {
+	return FitOn(nil, X, y, p)
+}
+
+// FitOn trains like Fit with independent tree fits fanned across the
+// engine's workers (nil engine: serial). All bootstrap randomness is drawn
+// serially up front in tree order, each tree writes only its own ensemble
+// slot, and prediction sums stay in tree order — so the trained forest is
+// bitwise identical for any worker count.
+func FitOn(e *score.Engine, X [][]float64, y []float64, p Params) (*Forest, error) {
 	n := len(y)
 	if n == 0 || len(X) != n {
 		return nil, fmt.Errorf("forest: need matching non-empty X (%d) and y (%d)", len(X), n)
@@ -50,17 +60,33 @@ func Fit(X [][]float64, y []float64, p Params) (*Forest, error) {
 	}
 	opt := tree.Options{MaxDepth: p.MaxDepth, MinChildWeight: 1}
 
-	f := &Forest{}
+	rowSets := make([][]int, p.Trees)
+	colSets := make([][]int, p.Trees)
 	for t := 0; t < p.Trees; t++ {
 		rows := make([]int, n)
 		for i := range rows {
 			rows[i] = rng.IntN(n)
 		}
-		cols := sampleCols(dim, p.ColSample, rng)
-		f.trees = append(f.trees, tree.Grow(X, g, h, rows, cols, opt))
+		rowSets[t] = rows
+		colSets[t] = sampleCols(dim, p.ColSample, rng)
 	}
+
+	// Columns are pre-sorted once for the whole ensemble; the fan is at
+	// tree level, so each chunk's Grower runs its split scans serially
+	// (nil engine) rather than nesting parallelism.
+	ctx := tree.NewContext(e, X)
+	f := &Forest{trees: make([]*tree.Tree, p.Trees)}
+	e.TaskChunks(p.Trees, func(lo, hi int) {
+		gw := ctx.Grower(nil)
+		for t := lo; t < hi; t++ {
+			f.trees[t] = gw.Grow(g, h, rowSets[t], colSets[t], opt, nil)
+		}
+	})
 	return f, nil
 }
+
+// Trees returns the ensemble size.
+func (f *Forest) Trees() int { return len(f.trees) }
 
 func sampleCols(dim int, frac float64, rng *rand.Rand) []int {
 	all := make([]int, dim)

@@ -1,0 +1,311 @@
+package tree
+
+import (
+	"sort"
+
+	"ceal/internal/score"
+)
+
+// This file is the training-side counterpart of the complete-tree batch
+// prediction kernel: the exact-greedy splitter of tree.Grow rewritten
+// around feature columns that are sorted once per training matrix instead
+// of once per node. X is static across every round and node of a boosted
+// or bagged fit, so a Context pre-sorts each column a single time and
+// trees are grown by stably partitioning the sorted index arrays down the
+// tree — per-node split enumeration becomes a linear scan, and the
+// O(features × n log n) per-node sort disappears entirely.
+//
+// The grown trees are value-identical to tree.Grow: same split feature,
+// threshold and gain at every node, same leaf values, bit for bit. That
+// holds because both trainers share one tie-break contract (rows ordered
+// by (value, row index) within a column, splits only between distinct
+// adjacent values, strictly-greater gain to replace the incumbent, columns
+// reduced in cols order) and because stable partition preserves exactly
+// that order in every descendant node, so each floating-point accumulation
+// visits rows in the same sequence the reference sort produces.
+
+// Context holds the pre-sorted feature columns of one training matrix.
+// Build it once per Fit and grow every tree of the ensemble from it; the
+// Context itself is immutable after construction and safe for concurrent
+// Growers.
+type Context struct {
+	X      [][]float64
+	n, dim int
+	sorted [][]int32 // per feature: row indices ordered by (value, row)
+}
+
+// NewContext pre-sorts every feature column of X, fanning the per-column
+// sorts across the engine (nil engine: serial). X must not be mutated for
+// the Context's lifetime.
+func NewContext(e *score.Engine, X [][]float64) *Context {
+	c := &Context{X: X, n: len(X)}
+	if c.n == 0 {
+		return c
+	}
+	c.dim = len(X[0])
+	c.sorted = make([][]int32, c.dim)
+	e.Tasks(c.dim, func(f int) {
+		idx := make([]int32, c.n)
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			if X[idx[a]][f] != X[idx[b]][f] {
+				return X[idx[a]][f] < X[idx[b]][f]
+			}
+			return idx[a] < idx[b]
+		})
+		c.sorted[f] = idx
+	})
+	return c
+}
+
+// minSplitFanWork gates per-node column fan-out: below this many
+// row×column scan steps the goroutine hand-off costs more than the scans
+// it overlaps, so small nodes enumerate serially. Purely a performance
+// threshold — results are bitwise identical either way, because each
+// column writes only its own candidate slot and the cross-column reduce
+// is always serial in cols order.
+const minSplitFanWork = 4096
+
+// Grower grows trees from a Context, reusing all per-fit scratch across
+// calls. A Grower is not safe for concurrent use: create one per worker
+// (ensemble-member fan) or reuse one across rounds (boosting).
+type Grower struct {
+	c   *Context
+	eng *score.Engine // fans split enumeration across columns; nil = serial
+
+	idx     []int32 // per selected column: the node's rows, (value,row)-ordered
+	aux     []int32 // partition double-buffer, same layout as idx
+	rowsOrd []int32 // the node's rows in caller order (leaf values, sums)
+	rowsAux []int32
+	count   []int32 // per-row multiplicity of the tree's row set
+	left    []bool  // per-row side marks for the current partition
+
+	colGain  []float64 // per selected column: best candidate gain
+	colThr   []float64 // per selected column: best candidate threshold
+	colFound []bool
+}
+
+// Grower returns a tree grower over the context. e controls per-node
+// split-enumeration fan-out (nil: serial) — pass nil when tree fits are
+// already fanned across ensemble members to avoid nested parallelism.
+func (c *Context) Grower(e *score.Engine) *Grower {
+	return &Grower{c: c, eng: e}
+}
+
+// Grow builds a tree over rows (indices into the context's X, duplicates
+// allowed — bootstrap resamples) considering only the given feature
+// columns, exactly like tree.Grow but without any per-node sorting. If
+// leafOut is non-nil (length = context rows) the entry of every training
+// row in rows is set to its leaf's value — the tree's prediction for that
+// row, letting boosting update its training predictions without walking
+// the tree again.
+func (gw *Grower) Grow(g, h []float64, rows []int, cols []int, opt Options, leafOut []float64) *Tree {
+	if opt.MinChildWeight <= 0 {
+		opt.MinChildWeight = 1e-12
+	}
+	m := len(rows)
+	gw.reserve(m, len(cols))
+	gw.buildRoot(rows, cols)
+	t := &growTask{gw: gw, g: g, h: h, m: m, cols: cols, opt: opt, leafOut: leafOut}
+	return &Tree{root: t.grow(0, m, 0)}
+}
+
+// reserve sizes the scratch for a tree over m rows and nc columns.
+func (gw *Grower) reserve(m, nc int) {
+	if need := m * nc; cap(gw.idx) < need {
+		gw.idx = make([]int32, need)
+		gw.aux = make([]int32, need)
+	} else {
+		gw.idx = gw.idx[:need]
+		gw.aux = gw.aux[:need]
+	}
+	if cap(gw.rowsOrd) < m {
+		gw.rowsOrd = make([]int32, m)
+		gw.rowsAux = make([]int32, m)
+	} else {
+		gw.rowsOrd = gw.rowsOrd[:m]
+		gw.rowsAux = gw.rowsAux[:m]
+	}
+	if gw.count == nil {
+		gw.count = make([]int32, gw.c.n)
+		gw.left = make([]bool, gw.c.n)
+	}
+	if cap(gw.colGain) < nc {
+		gw.colGain = make([]float64, nc)
+		gw.colThr = make([]float64, nc)
+		gw.colFound = make([]bool, nc)
+	} else {
+		gw.colGain = gw.colGain[:nc]
+		gw.colThr = gw.colThr[:nc]
+		gw.colFound = gw.colFound[:nc]
+	}
+}
+
+// buildRoot fills the per-column index arrays with the tree's row set in
+// (value, row) order, by filtering the context's pre-sorted columns. Rows
+// drawn with replacement appear with their multiplicity, consecutively —
+// the position a stable (value, row) sort of the duplicated set yields.
+func (gw *Grower) buildRoot(rows []int, cols []int) {
+	c := gw.c
+	m := len(rows)
+	identity := m == c.n
+	for i, r := range rows {
+		gw.rowsOrd[i] = int32(r)
+		if identity && r != i {
+			identity = false
+		}
+	}
+	if identity {
+		for ci, f := range cols {
+			copy(gw.idx[ci*m:(ci+1)*m], c.sorted[f])
+		}
+		return
+	}
+	for _, r := range rows {
+		gw.count[r]++
+	}
+	for ci, f := range cols {
+		dst := gw.idx[ci*m : (ci+1)*m]
+		k := 0
+		for _, r := range c.sorted[f] {
+			for rep := gw.count[r]; rep > 0; rep-- {
+				dst[k] = r
+				k++
+			}
+		}
+	}
+	for _, r := range rows {
+		gw.count[r] = 0
+	}
+}
+
+// growTask is one Grow call's recursion state.
+type growTask struct {
+	gw      *Grower
+	g, h    []float64
+	m       int // stride of the per-column index arrays
+	cols    []int
+	opt     Options
+	leafOut []float64
+}
+
+// grow builds the node over segment [lo, hi) of every working array.
+func (t *growTask) grow(lo, hi, depth int) *node {
+	gw, opt := t.gw, t.opt
+	X := gw.c.X
+	var gSum, hSum float64
+	for _, r := range gw.rowsOrd[lo:hi] {
+		gSum += t.g[r]
+		hSum += t.h[r]
+	}
+	leafValue := -gSum / (hSum + opt.Lambda)
+	makeLeaf := func() *node {
+		if t.leafOut != nil {
+			for _, r := range gw.rowsOrd[lo:hi] {
+				t.leafOut[r] = leafValue
+			}
+		}
+		return &node{leaf: true, value: leafValue}
+	}
+	if depth >= opt.MaxDepth || hi-lo < 2 {
+		return makeLeaf()
+	}
+
+	// Split enumeration: each column scans its own sorted segment and
+	// records its best candidate in its own slot; the reduce below is
+	// serial in cols order, so candidate selection is independent of
+	// whether (and how wide) the scans fanned out.
+	parentScore := gSum * gSum / (hSum + opt.Lambda)
+	scan := func(ci int) {
+		f := t.cols[ci]
+		seg := gw.idx[ci*t.m+lo : ci*t.m+hi]
+		best, thr, found := opt.Gamma, 0.0, false
+		var gl, hl float64
+		for k := 0; k < len(seg)-1; k++ {
+			r := seg[k]
+			gl += t.g[r]
+			hl += t.h[r]
+			v, vn := X[r][f], X[seg[k+1]][f]
+			// Split only between distinct feature values.
+			if v == vn {
+				continue
+			}
+			gr, hr := gSum-gl, hSum-hl
+			if hl < opt.MinChildWeight || hr < opt.MinChildWeight {
+				continue
+			}
+			gain := gl*gl/(hl+opt.Lambda) + gr*gr/(hr+opt.Lambda) - parentScore
+			if gain > best {
+				best, thr, found = gain, (v+vn)/2, true
+			}
+		}
+		gw.colGain[ci], gw.colThr[ci], gw.colFound[ci] = best, thr, found
+	}
+	fan := gw.eng != nil && (hi-lo)*len(t.cols) >= minSplitFanWork
+	if fan {
+		gw.eng.Tasks(len(t.cols), scan)
+	} else {
+		for ci := range t.cols {
+			scan(ci)
+		}
+	}
+	bestGain := opt.Gamma
+	bestCI := -1
+	for ci := range t.cols {
+		if gw.colFound[ci] && gw.colGain[ci] > bestGain {
+			bestGain, bestCI = gw.colGain[ci], ci
+		}
+	}
+	if bestCI < 0 {
+		return makeLeaf()
+	}
+	bestFeature, bestThreshold := t.cols[bestCI], gw.colThr[bestCI]
+
+	// Stable partition: mark each row's side once, then split every
+	// working array in a single order-preserving pass, so children keep
+	// both the (value, row) column order and the caller row order.
+	nl := 0
+	for _, r := range gw.rowsOrd[lo:hi] {
+		goLeft := X[r][bestFeature] < bestThreshold
+		gw.left[r] = goLeft
+		if goLeft {
+			nl++
+		}
+	}
+	if nl == 0 || nl == hi-lo {
+		return makeLeaf()
+	}
+	part := func(src, dst []int32) {
+		a, b := 0, nl
+		for _, r := range src {
+			if gw.left[r] {
+				dst[a] = r
+				a++
+			} else {
+				dst[b] = r
+				b++
+			}
+		}
+		copy(src, dst)
+	}
+	part(gw.rowsOrd[lo:hi], gw.rowsAux[:hi-lo])
+	partCol := func(ci int) {
+		part(gw.idx[ci*t.m+lo:ci*t.m+hi], gw.aux[ci*t.m+lo:ci*t.m+hi])
+	}
+	if fan {
+		gw.eng.Tasks(len(t.cols), partCol)
+	} else {
+		for ci := range t.cols {
+			partCol(ci)
+		}
+	}
+	return &node{
+		feature:   bestFeature,
+		threshold: bestThreshold,
+		gain:      bestGain,
+		left:      t.grow(lo, lo+nl, depth+1),
+		right:     t.grow(lo+nl, hi, depth+1),
+	}
+}

@@ -44,6 +44,20 @@ type node struct {
 // Grow builds a tree from rows (indices into X/g/h) considering only the
 // given feature columns. g and h are the per-sample first and second
 // derivatives of the loss at the current prediction.
+//
+// Grow is the reference exact-greedy trainer: it re-sorts every feature
+// column at every node, O(features × n log n) per node. The pre-sorted
+// Context/Grower path in presort.go grows value-identical trees (same
+// split feature, threshold and gain at every node) in a linear scan per
+// node; Grow is kept as the independent oracle the equivalence property
+// tests and training benchmarks compare against.
+//
+// Determinism/tie-break contract (shared with the pre-sorted trainer):
+// within a feature column rows are ordered by (value, row index) — a
+// stable, input-order-independent total order — candidate splits are
+// evaluated only between distinct adjacent values, and a candidate
+// replaces the incumbent only on strictly greater gain, so the first
+// best-gain candidate in (column order, value order) wins ties.
 func Grow(X [][]float64, g, h []float64, rows []int, cols []int, opt Options) *Tree {
 	if opt.MinChildWeight <= 0 {
 		opt.MinChildWeight = 1e-12
@@ -69,7 +83,12 @@ func grow(X [][]float64, g, h []float64, rows []int, cols []int, opt Options, de
 	order := make([]int, len(rows))
 	for _, f := range cols {
 		copy(order, rows)
-		sort.Slice(order, func(i, j int) bool { return X[order[i]][f] < X[order[j]][f] })
+		sort.Slice(order, func(i, j int) bool {
+			if X[order[i]][f] != X[order[j]][f] {
+				return X[order[i]][f] < X[order[j]][f]
+			}
+			return order[i] < order[j]
+		})
 		var gl, hl float64
 		for i := 0; i < len(order)-1; i++ {
 			r := order[i]

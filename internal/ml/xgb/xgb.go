@@ -117,20 +117,46 @@ func FitWithValidation(X [][]float64, y []float64, Xv [][]float64, yv []float64,
 	if err != nil {
 		return nil, err
 	}
-	// Scan validation RMSE over ensemble prefixes.
+	// Scan validation RMSE over ensemble prefixes: tree-outer accumulation
+	// over the flattened ensemble, so each prefix extends the previous one
+	// by one batch pass instead of re-walking pointer trees per row. The
+	// flat leaves are eta-pre-scaled copies of the pointer trees' values,
+	// so the RMSE sequence — and therefore the kept prefix length — is
+	// bitwise identical to the per-row Predict scan.
 	pred := make([]float64, len(Xv))
 	for i := range pred {
 		pred[i] = m.base
 	}
+	m.flatten()
 	bestRMSE := math.Inf(1)
 	bestLen := 0
 	since := 0
 	for r, t := range m.trees {
 		var sse float64
-		for i, x := range Xv {
-			pred[i] += m.eta * t.Predict(x)
-			d := pred[i] - yv[i]
-			sse += d * d
+		if fe := m.flat; fe != nil {
+			inner, leafN := 1<<fe.depth-1, 1<<fe.depth
+			fb := fe.feats[r*inner : (r+1)*inner]
+			tb := fe.thresh[r*inner : (r+1)*inner]
+			lb := fe.leaves[r*leafN : (r+1)*leafN]
+			for i, x := range Xv {
+				j := 0
+				for d := 0; d < fe.depth; d++ {
+					b := 1
+					if x[fb[j]] < tb[j] {
+						b = 0
+					}
+					j = 2*j + 1 + b
+				}
+				pred[i] += lb[j-inner]
+				d := pred[i] - yv[i]
+				sse += d * d
+			}
+		} else { // ensemble too deep to flatten: pointer walk
+			for i, x := range Xv {
+				pred[i] += m.eta * t.Predict(x)
+				d := pred[i] - yv[i]
+				sse += d * d
+			}
 		}
 		rmse := math.Sqrt(sse / float64(len(yv)))
 		if rmse < bestRMSE-1e-12 {
@@ -144,12 +170,26 @@ func FitWithValidation(X [][]float64, y []float64, Xv [][]float64, yv []float64,
 			}
 		}
 	}
+	// Truncating only m.trees is sound: the flat arrays are blocked per
+	// tree in ensemble order and every batch path bounds its tree loop by
+	// len(m.trees), so the dropped blocks are simply never read.
 	m.trees = m.trees[:bestLen]
 	return m, nil
 }
 
-// Fit trains a model on feature rows X and targets y.
+// Fit trains a model on feature rows X and targets y, serially.
 func Fit(X [][]float64, y []float64, p Params) (*Model, error) {
+	return FitOn(nil, X, y, p)
+}
+
+// FitOn trains like Fit with the engine supplying training parallelism
+// (nil engine: serial, exactly like PredictBatchOn). Feature columns are
+// pre-sorted once — X is static across all rounds — and every round's tree
+// is grown by stable partition of the sorted index arrays; per-node split
+// enumeration fans across feature columns on the engine. The trained model
+// is bitwise identical for any worker count, and value-identical to the
+// reference per-node-sort trainer.
+func FitOn(e *score.Engine, X [][]float64, y []float64, p Params) (*Model, error) {
 	n := len(y)
 	if n == 0 || len(X) != n {
 		return nil, fmt.Errorf("xgb: need matching non-empty X (%d) and y (%d)", len(X), n)
@@ -167,6 +207,7 @@ func Fit(X [][]float64, y []float64, p Params) (*Model, error) {
 	base /= float64(n)
 
 	m := &Model{base: base, eta: p.LearningRate}
+	m.trees = make([]*tree.Tree, 0, p.Rounds)
 	pred := make([]float64, n)
 	for i := range pred {
 		pred[i] = base
@@ -175,37 +216,72 @@ func Fit(X [][]float64, y []float64, p Params) (*Model, error) {
 	h := make([]float64, n)
 	opt := tree.Options{MaxDepth: p.MaxDepth, MinChildWeight: p.MinChildWeight, Lambda: p.Lambda, Gamma: p.Gamma}
 
+	ctx := tree.NewContext(e, X)
+	grower := ctx.Grower(e)
+	// Round-loop buffers, hoisted: index buffers are refilled (not
+	// reallocated) per round, and leaf carries each training row's leaf
+	// value out of the grower so the prediction update never re-walks the
+	// tree for rows the fit just routed.
+	rowBuf := make([]int, n)
+	colBuf := make([]int, dim)
+	leaf := make([]float64, n)
+	subsampled := p.Subsample < 1 && p.Subsample > 0
+	var covered []bool
+	if subsampled {
+		covered = make([]bool, n)
+	}
+
 	for round := 0; round < p.Rounds; round++ {
 		for i := 0; i < n; i++ {
 			g[i] = pred[i] - y[i] // d/dpred ½(pred−y)²
 			h[i] = 1
 		}
-		rows := sampleIndices(n, p.Subsample, rng)
-		cols := sampleIndices(dim, p.ColSample, rng)
-		t := tree.Grow(X, g, h, rows, cols, opt)
+		rows := sampleIndices(rowBuf, p.Subsample, rng)
+		cols := sampleIndices(colBuf, p.ColSample, rng)
+		t := grower.Grow(g, h, rows, cols, opt, leaf)
 		m.trees = append(m.trees, t)
+		if len(rows) == n {
+			for i := 0; i < n; i++ {
+				pred[i] += p.LearningRate * leaf[i]
+			}
+			continue
+		}
+		// Subsampled round: rows in the tree carry their leaf assignment;
+		// only the held-out rows walk the tree.
+		for _, r := range rows {
+			covered[r] = true
+		}
 		for i := 0; i < n; i++ {
-			pred[i] += p.LearningRate * t.Predict(X[i])
+			if covered[i] {
+				pred[i] += p.LearningRate * leaf[i]
+			} else {
+				pred[i] += p.LearningRate * t.Predict(X[i])
+			}
+		}
+		for _, r := range rows {
+			covered[r] = false
 		}
 	}
 	return m, nil
 }
 
-// sampleIndices draws ceil(frac*n) distinct indices, or all when frac >= 1.
-func sampleIndices(n int, frac float64, rng *rand.Rand) []int {
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
+// sampleIndices draws ceil(frac*n) distinct indices into buf (or all of
+// [0,n) when frac >= 1), consuming the rng exactly like a fresh-slice
+// shuffle so seeded sampling streams are unchanged by buffer reuse.
+func sampleIndices(buf []int, frac float64, rng *rand.Rand) []int {
+	n := len(buf)
+	for i := range buf {
+		buf[i] = i
 	}
 	if frac >= 1 || frac <= 0 {
-		return all
+		return buf
 	}
 	k := int(frac*float64(n) + 0.5)
 	if k < 1 {
 		k = 1
 	}
-	rng.Shuffle(n, func(i, j int) { all[i], all[j] = all[j], all[i] })
-	return all[:k]
+	rng.Shuffle(n, func(i, j int) { buf[i], buf[j] = buf[j], buf[i] })
+	return buf[:k]
 }
 
 // Predict returns the model output for one feature vector.

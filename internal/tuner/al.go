@@ -83,6 +83,9 @@ func (s *alStrategy) Fit(st *State, _ []Sample) (bool, error) {
 	return true, s.model.Train(st.Samples)
 }
 
+// ModelRounds reports the surrogate's boosting rounds for the trace.
+func (s *alStrategy) ModelRounds() int { return s.model.Rounds() }
+
 func (s *alStrategy) FinalScores(st *State) ([]float64, error) {
 	return s.model.PredictPool(st.Problem.Pool), nil
 }

@@ -126,6 +126,9 @@ func (s *alphStrategy) Fit(st *State, _ []Sample) (bool, error) {
 	return true, s.model.Train(st.Samples)
 }
 
+// ModelRounds reports the surrogate's boosting rounds for the trace.
+func (s *alphStrategy) ModelRounds() int { return s.model.Rounds() }
+
 func (s *alphStrategy) FinalScores(st *State) ([]float64, error) {
 	return s.model.PredictPool(st.Problem.Pool), nil
 }

@@ -112,12 +112,21 @@ func (s *boStrategy) Fit(st *State, _ []Sample) (bool, error) {
 	}
 	params := s.opts.Forest
 	params.Seed = p.Seed ^ uint64(len(samples))
-	f, err := forest.Fit(X, y, params)
+	f, err := forest.FitOn(p.engine(), X, y, params)
 	if err != nil {
 		return false, err
 	}
 	s.f, s.bestLog = f, bestLog
 	return true, nil
+}
+
+// ModelRounds reports the forest's ensemble size for the ModelTrained
+// trace event.
+func (s *boStrategy) ModelRounds() int {
+	if s.f == nil {
+		return 0
+	}
+	return s.f.Trees()
 }
 
 func (s *boStrategy) FinalScores(st *State) ([]float64, error) {

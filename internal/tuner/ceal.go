@@ -236,6 +236,9 @@ func (s *cealStrategy) Fit(st *State, _ []Sample) (bool, error) {
 	return true, s.high.Train(st.Samples) // line 25
 }
 
+// ModelRounds reports the high-fidelity surrogate's boosting rounds.
+func (s *cealStrategy) ModelRounds() int { return s.high.Rounds() }
+
 func (s *cealStrategy) FinalScores(st *State) ([]float64, error) {
 	return s.high.PredictPool(st.Problem.Pool), nil
 }

@@ -27,8 +27,15 @@ func trainComponentModels(p *Problem, mR int, rng *rand.Rand) (*componentModels,
 	parts := make([]acm.Part, len(p.Components))
 	newSamples := make([][]Sample, len(p.Components))
 	dims := p.dims()
+
+	// Pass 1, serial: measurement and configuration sampling, in component
+	// order — the collector and the rng both have order-dependent state.
+	type pendingFit struct {
+		j       int
+		samples []Sample
+	}
+	var fits []pendingFit
 	for j, comp := range p.Components {
-		j := j
 		if comp.Space == nil {
 			solo, err := p.Collector().MeasureComponents(p.context(), j, []cfgspace.Config{nil})
 			if err != nil {
@@ -58,15 +65,28 @@ func trainComponentModels(p *Problem, mR int, rng *rand.Rand) (*componentModels,
 		if len(samples) == 0 {
 			return nil, fmt.Errorf("tuner: component %s has no measurements (mR=0 and no history)", comp.Name)
 		}
+		fits = append(fits, pendingFit{j: j, samples: samples})
+	}
 
-		model, err := fitComponentModel(comp, samples, p.surrogateParams())
-		if err != nil {
-			return nil, fmt.Errorf("tuner: fit component model %s: %w", comp.Name, err)
+	// Pass 2: independent per-component model fits fan across the engine —
+	// each writes only its own slot, and errors are surfaced in component
+	// order, so results and failure behavior match the serial loop.
+	params := p.surrogateParams()
+	models := make([]acm.Predictor, len(fits))
+	errs := make([]error, len(fits))
+	p.engine().Tasks(len(fits), func(i int) {
+		models[i], errs[i] = fitComponentModel(p.Components[fits[i].j], fits[i].samples, params)
+	})
+	for i, pf := range fits {
+		j := pf.j
+		comp := p.Components[j]
+		if errs[i] != nil {
+			return nil, fmt.Errorf("tuner: fit component model %s: %w", comp.Name, errs[i])
 		}
 		sub := func(cfg cfgspace.Config) []float64 {
 			return comp.features(cfgspace.Slice(cfg, dims, j))
 		}
-		part := acm.Part{Name: comp.Name, Predictor: model, Extract: sub}
+		part := acm.Part{Name: comp.Name, Predictor: models[i], Extract: sub}
 		if comp.Cores != nil {
 			comp := comp
 			part.Cores = func(cfg cfgspace.Config) float64 {

@@ -145,6 +145,15 @@ func (s *hyBoostStrategy) Fit(st *State, _ []Sample) (bool, error) {
 	return true, s.corrector.Train(resid)
 }
 
+// ModelRounds reports the residual corrector's round count for the
+// ModelTrained trace event.
+func (s *hyBoostStrategy) ModelRounds() int {
+	if s.corrector == nil {
+		return 0
+	}
+	return s.corrector.Rounds()
+}
+
 func (s *hyBoostStrategy) FinalScores(st *State) ([]float64, error) {
 	p := st.Problem
 	// predict reads am and the trained corrector only, so the pool fans out
@@ -224,12 +233,13 @@ type knnSelectCandidate struct {
 
 // knnSelectStrategy: the AL loop over the per-query model selector.
 type knnSelectStrategy struct {
-	opts  KNNSelectOptions
-	space *cfgspace.Space
-	am    *acm.LowFidelity
-	cands []knnSelectCandidate
-	nn    *knn.Regressor // neighbour finder over the test half
-	test  []Sample       // held-out half used to select among candidates
+	opts      KNNSelectOptions
+	space     *cfgspace.Space
+	am        *acm.LowFidelity
+	cands     []knnSelectCandidate
+	nn        *knn.Regressor // neighbour finder over the test half
+	test      []Sample       // held-out half used to select among candidates
+	xgbRounds int            // boosted candidate's rounds, for the trace
 }
 
 func (s *knnSelectStrategy) ModelName() string { return "ensemble" }
@@ -305,37 +315,68 @@ func (s *knnSelectStrategy) Fit(st *State, _ []Sample) (bool, error) {
 		Xt[i] = p.Space.Normalized(smp.Cfg)
 		yt[i] = smp.Value
 	}
-	var err error
-	if s.nn, err = knn.Fit(Xt, yt, s.opts.K); err != nil {
-		return false, err
-	}
-	s.cands = []knnSelectCandidate{{name: "ACM", predict: s.am.Score}}
-
-	xgbSurr := newSurrogate(p)
-	if err := xgbSurr.Train(train); err != nil {
-		return false, err
-	}
-	s.cands = append(s.cands, knnSelectCandidate{name: "XGB", predict: xgbSurr.Predict})
-
 	fp := forest.DefaultParams()
 	fp.Seed = p.Seed
-	if fst, err := forest.Fit(X, ylog, fp); err == nil {
+
+	// Candidate trainings are independent, so they fan across the engine as
+	// whole-model tasks; each writes only its own slot, errors are inspected
+	// in the fixed candidate order below, and the heavyweight members keep
+	// their inner training serial (nil engine) rather than nesting fan-outs.
+	var (
+		nnErr   error
+		xgbSurr = newSurrogate(p)
+		xgbErr  error
+		fst     *forest.Forest
+		fstErr  error
+		rr      *linear.Ridge
+		rrErr   error
+		kr      *knn.Regressor
+		krErr   error
+	)
+	p.engine().Tasks(5, func(i int) {
+		switch i {
+		case 0:
+			s.nn, nnErr = knn.Fit(Xt, yt, s.opts.K)
+		case 1:
+			xgbErr = xgbSurr.Train(train)
+		case 2:
+			fst, fstErr = forest.FitOn(nil, X, ylog, fp)
+		case 3:
+			rr, rrErr = linear.FitRidge(X, ylog, 1.0)
+		case 4:
+			kr, krErr = knn.Fit(Xn, y, s.opts.K)
+		}
+	})
+	if nnErr != nil {
+		return false, nnErr
+	}
+	s.cands = []knnSelectCandidate{{name: "ACM", predict: s.am.Score}}
+	if xgbErr != nil {
+		return false, xgbErr
+	}
+	s.xgbRounds = xgbSurr.Rounds()
+	s.cands = append(s.cands, knnSelectCandidate{name: "XGB", predict: xgbSurr.Predict})
+	if fstErr == nil {
 		s.cands = append(s.cands, knnSelectCandidate{name: "RF", predict: func(cfg cfgspace.Config) float64 {
 			return unlogTarget(fst.Predict(p.features(cfg)))
 		}})
 	}
-	if rr, err := linear.FitRidge(X, ylog, 1.0); err == nil {
+	if rrErr == nil {
 		s.cands = append(s.cands, knnSelectCandidate{name: "Ridge", predict: func(cfg cfgspace.Config) float64 {
 			return unlogTarget(rr.Predict(p.features(cfg)))
 		}})
 	}
-	if kr, err := knn.Fit(Xn, y, s.opts.K); err == nil {
+	if krErr == nil {
 		s.cands = append(s.cands, knnSelectCandidate{name: "KNN", predict: func(cfg cfgspace.Config) float64 {
 			return kr.Predict(p.Space.Normalized(cfg))
 		}})
 	}
 	return true, nil
 }
+
+// ModelRounds reports the boosted candidate's round count for the
+// ModelTrained trace event.
+func (s *knnSelectStrategy) ModelRounds() int { return s.xgbRounds }
 
 func (s *knnSelectStrategy) predict(cfg cfgspace.Config) float64 {
 	nbrs := s.nn.Neighbors(s.space.Normalized(cfg))

@@ -88,6 +88,13 @@ type ModelTrained struct {
 	Model string `json:"model"`
 	// Samples is the training-set size.
 	Samples int `json:"samples"`
+	// DurationNS is the wall-clock time of the (re)fit in nanoseconds —
+	// the training-latency counterpart of BatchMeasured's cost counters,
+	// there to make model-refit time visible per iteration in traces.
+	DurationNS int64 `json:"duration_ns"`
+	// Rounds is the fitted ensemble's size (boosting rounds or trees; 0
+	// when the strategy has no ensemble to report).
+	Rounds int `json:"rounds"`
 }
 
 // SwitchDecision is CEAL's model-switch detector verdict (Alg. 1 lines

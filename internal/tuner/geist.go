@@ -3,6 +3,7 @@ package tuner
 import (
 	"math/rand/v2"
 	"sort"
+	"time"
 
 	"ceal/internal/cfgspace"
 	"ceal/internal/metrics"
@@ -180,12 +181,22 @@ func (s *geistStrategy) Fit(_ *State, fresh []Sample) (bool, error) {
 }
 
 func (s *geistStrategy) FinalScores(st *State) ([]float64, error) {
+	var start time.Time
+	if st.Observing() {
+		start = time.Now()
+	}
 	s.model = newSurrogate(st.Problem)
 	if err := s.model.Train(st.Samples); err != nil {
 		return nil, err
 	}
 	if st.Observing() {
-		st.Emit(&events.ModelTrained{Iteration: st.Iter, Model: "surrogate", Samples: len(st.Samples)})
+		st.Emit(&events.ModelTrained{
+			Iteration:  st.Iter,
+			Model:      "surrogate",
+			Samples:    len(st.Samples),
+			DurationNS: time.Since(start).Nanoseconds(),
+			Rounds:     s.model.Rounds(),
+		})
 	}
 	return s.model.PredictPool(st.Problem.Pool), nil
 }

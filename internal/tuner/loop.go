@@ -2,6 +2,7 @@ package tuner
 
 import (
 	"math/rand/v2"
+	"time"
 
 	"ceal/internal/cfgspace"
 	"ceal/internal/collector"
@@ -169,6 +170,10 @@ func (l *Loop) Run(p *Problem, budget int) (*Result, error) {
 	// Phase 1 (optional): component models, charged against the budget.
 	var compSamples [][]Sample
 	if b, ok := l.Modeler.(Bootstrapper); ok {
+		var start time.Time
+		if st.obs != nil {
+			start = time.Now()
+		}
 		cs, err := b.Bootstrap(st)
 		if err != nil {
 			return nil, err
@@ -178,7 +183,15 @@ func (l *Loop) Run(p *Problem, budget int) (*Result, error) {
 			st.compRuns += len(s)
 		}
 		if st.obs != nil && st.compRuns > 0 {
-			st.Emit(&events.ModelTrained{Iteration: 0, Model: "low-fidelity", Samples: st.compRuns})
+			// Duration covers the whole bootstrap (component measurement +
+			// per-component fits); rounds are per component model.
+			st.Emit(&events.ModelTrained{
+				Iteration:  0,
+				Model:      "low-fidelity",
+				Samples:    st.compRuns,
+				DurationNS: time.Since(start).Nanoseconds(),
+				Rounds:     p.surrogateParams().Rounds,
+			})
 		}
 	}
 
@@ -286,12 +299,24 @@ func (l *Loop) measure(st *State, phase string, cfgs []cfgspace.Config) ([]Sampl
 }
 
 func (l *Loop) fit(st *State, fresh []Sample) error {
+	// Timing only happens when someone is watching: the nil-observer path
+	// stays clock-free as well as allocation-free.
+	var start time.Time
+	if st.obs != nil {
+		start = time.Now()
+	}
 	trained, err := l.Modeler.Fit(st, fresh)
 	if err != nil {
 		return err
 	}
 	if trained && st.obs != nil {
-		st.Emit(&events.ModelTrained{Iteration: st.Iter, Model: l.modelName(), Samples: len(st.Samples)})
+		st.Emit(&events.ModelTrained{
+			Iteration:  st.Iter,
+			Model:      l.modelName(),
+			Samples:    len(st.Samples),
+			DurationNS: time.Since(start).Nanoseconds(),
+			Rounds:     l.modelRounds(),
+		})
 	}
 	return nil
 }
@@ -303,6 +328,14 @@ func (l *Loop) modelName() string {
 		return n.ModelName()
 	}
 	return "surrogate"
+}
+
+// modelRounds reads the strategy's fitted-ensemble size when it reports one.
+func (l *Loop) modelRounds() int {
+	if r, ok := l.Modeler.(interface{ ModelRounds() int }); ok {
+		return r.ModelRounds()
+	}
+	return 0
 }
 
 func (l *Loop) iterationDone(st *State) {

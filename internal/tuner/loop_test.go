@@ -78,9 +78,19 @@ func TestLoopTraceContract(t *testing.T) {
 		// dedup-free synthetic collector, and the measured total must land
 		// exactly on the result's sample count.
 		measured, lastBest := 0, math.Inf(1)
-		sawIteration := false
+		sawIteration, sawModel := false, false
 		for i, e := range evs {
 			switch ev := e.(type) {
+			case *events.ModelTrained:
+				sawModel = true
+				if ev.DurationNS <= 0 {
+					t.Errorf("%s: ModelTrained(%s, iter %d) has DurationNS = %d",
+						alg.Name(), ev.Model, ev.Iteration, ev.DurationNS)
+				}
+				if ev.Rounds <= 0 {
+					t.Errorf("%s: ModelTrained(%s, iter %d) has Rounds = %d",
+						alg.Name(), ev.Model, ev.Iteration, ev.Rounds)
+				}
 			case *events.BatchSelected:
 				if ev.Size <= 0 {
 					t.Errorf("%s: empty BatchSelected at event %d", alg.Name(), i)
@@ -122,6 +132,9 @@ func TestLoopTraceContract(t *testing.T) {
 		}
 		if !sawIteration {
 			t.Errorf("%s: no IterationDone events", alg.Name())
+		}
+		if !sawModel {
+			t.Errorf("%s: no ModelTrained events", alg.Name())
 		}
 		if measured != len(res.Samples) {
 			t.Errorf("%s: trace measured %d samples, result has %d",

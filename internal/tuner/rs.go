@@ -32,6 +32,9 @@ func (s *rsStrategy) Fit(st *State, _ []Sample) (bool, error) {
 	return true, s.model.Train(st.Samples)
 }
 
+// ModelRounds reports the surrogate's boosting rounds for the trace.
+func (s *rsStrategy) ModelRounds() int { return s.model.Rounds() }
+
 func (s *rsStrategy) FinalScores(st *State) ([]float64, error) {
 	return s.model.PredictPool(st.Problem.Pool), nil
 }

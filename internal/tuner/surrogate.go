@@ -50,12 +50,21 @@ func (s *Surrogate) Train(samples []Sample) error {
 		X[i] = s.feats(smp.Cfg)
 		y[i] = logTarget(smp.Value)
 	}
-	m, err := xgb.Fit(X, y, s.params)
+	m, err := xgb.FitOn(s.eng, X, y, s.params)
 	if err != nil {
 		return err
 	}
 	s.model = m
 	return nil
+}
+
+// Rounds returns the trained ensemble's boosting-round count (0 if
+// untrained) — surfaced in the ModelTrained trace event.
+func (s *Surrogate) Rounds() int {
+	if s.model == nil {
+		return 0
+	}
+	return s.model.Rounds()
 }
 
 // Predict returns the surrogate's metric prediction for cfg.
