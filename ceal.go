@@ -111,10 +111,22 @@ type (
 	// RunState is a RunRecord's lifecycle state (queued, running, done,
 	// failed, cancelled).
 	RunState = service.RunState
-	// Store persists finished tuning runs for the serving layer (see
+	// Store persists finished tuning runs — the queryable history database
+	// (internal/histdb) behind the serving layer and warm starts (see
 	// service.NewMemStore / service.OpenFileStore).
 	Store = service.Store
+	// WarmStart carries prior-run measurements into a new run: workflow
+	// samples seed the Phase-2 surrogate, component samples feed Phase-1.
+	// Attach via Problem.Warm, or assemble one from a Store with
+	// WarmFromHistory.
+	WarmStart = tuner.WarmStart
 )
+
+// WarmFromHistory assembles transfer-learning data for a spec from the
+// history database: same-spec-family workflow samples plus standalone
+// component samples from any run sharing a component application. Returns
+// nil when the database has nothing applicable (cold start).
+var WarmFromHistory = live.WarmFromHistory
 
 // Space construction helpers for custom workflows.
 var (

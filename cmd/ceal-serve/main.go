@@ -1,16 +1,26 @@
 // Command ceal-serve runs the auto-tuner as a long-lived HTTP service: a
 // facility-side daemon that accepts tuning jobs, runs them concurrently on
 // a bounded worker pool, streams each run's live event trace, and persists
-// finished runs so identical resubmissions are served from the store.
+// every run to the tuning-history database (internal/histdb) so identical
+// resubmissions are served from the store, new runs can warm-start from
+// prior measurements, and interrupted runs resume from their checkpoint.
 //
 // Usage:
 //
 //	ceal-serve -addr :8080 -workers 2 -queue 16 -store runs.jsonl
 //
 //	curl -X POST localhost:8080/v1/runs -d '{"benchmark":"LV","algorithm":"ceal","budget":50}'
+//	curl -X POST localhost:8080/v1/runs -d '{"benchmark":"LV","warm_start":true}'  # seed from history
 //	curl localhost:8080/v1/runs/run-000001
 //	curl localhost:8080/v1/runs/run-000001/events        # live JSONL trace
 //	curl -X DELETE localhost:8080/v1/runs/run-000001     # cancel
+//	curl -X POST localhost:8080/v1/runs/run-000001/resume  # replay an interrupted run
+//	curl 'localhost:8080/v1/history?workflow=LV'         # query the history DB
+//
+// With -store, runs are checkpointed after every measured batch: a daemon
+// killed mid-run (even SIGKILL) leaves a resumable record behind, and
+// POST /v1/runs/{id}/resume after restart re-derives the identical result
+// by replaying the persisted measurements instead of re-measuring.
 //
 // SIGINT/SIGTERM drain gracefully: no new jobs are admitted, in-flight
 // runs are cancelled (they abort within one measurement batch), and the

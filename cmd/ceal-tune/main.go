@@ -8,8 +8,14 @@
 //	ceal-tune -workflow HS -objective exec -algorithm al -budget 100
 //	ceal-tune -workflow GP -budget 50 -workers 8 -timeout 2m
 //
+// With -history <path>, the run is recorded in a JSONL tuning-history
+// database; -warm seeds it from prior runs in that database (same-family
+// workflow samples, shared-component samples), and -resume <run-id>
+// replays an interrupted run from its measurement checkpoint instead of
+// re-measuring.
+//
 // SIGINT/SIGTERM cancel the run; tuning aborts within one measurement
-// batch.
+// batch (and is checkpointed when -history is set).
 package main
 
 import (
@@ -26,6 +32,8 @@ import (
 
 	"ceal"
 	"ceal/internal/emews"
+	"ceal/internal/histdb"
+	"ceal/internal/tuner/events"
 )
 
 func main() {
@@ -46,6 +54,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers = fs.Int("workers", 1, "parallel measurement and pool-scoring width")
 		timeout = fs.Duration("timeout", 0, "abort tuning after this long (0: no limit)")
 		trace   = fs.String("trace", "", "stream run events as JSONL to this file (\"-\" for stdout)")
+		history = fs.String("history", "", "tuning-history DB (JSONL file): record this run; enables -warm and -resume")
+		warm    = fs.Bool("warm", false, "warm-start from prior runs in the -history DB")
+		resume  = fs.String("resume", "", "resume an interrupted run from the -history DB by run ID")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -58,6 +69,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "ceal-tune:", err)
 		return 1
+	}
+
+	var db *histdb.FileStore
+	if *history != "" {
+		var err error
+		if db, err = histdb.OpenFileStore(*history); err != nil {
+			return fail(err)
+		}
+	}
+	if *warm && db == nil {
+		return fail(fmt.Errorf("-warm requires -history <path>"))
+	}
+	var resumed *histdb.RunRecord
+	if *resume != "" {
+		if db == nil {
+			return fail(fmt.Errorf("-resume requires -history <path>"))
+		}
+		rec, ok := db.Get(*resume)
+		if !ok {
+			return fail(fmt.Errorf("resume: run %q not found in %s", *resume, *history))
+		}
+		if rec.State == histdb.StateDone {
+			return fail(fmt.Errorf("resume: run %s already completed; its result is recorded in %s", *resume, *history))
+		}
+		resumed = rec
+		// The stored spec overrides the flags: a resume replays the
+		// original run, it does not start a new one.
+		n := rec.Spec.Normalize()
+		*wfName, *objName, *algName = n.Benchmark, n.Objective, n.Algorithm
+		*budget, *pool, *seed = n.Budget, n.Pool, n.Seed
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -90,6 +131,67 @@ func run(args []string, stdout, stderr io.Writer) int {
 	problem.Runner = &emews.Runner{Workers: *workers, MaxRetries: 3}
 	problem.Workers = *workers
 	problem.Ctx = ctx
+
+	spec := histdb.Spec{
+		Benchmark: b.Name, Algorithm: strings.ToLower(*algName), Objective: *objName,
+		Budget: *budget, Pool: *pool, Seed: *seed, Workers: *workers, WarmStart: *warm,
+	}.Normalize()
+	if resumed != nil {
+		// Replay the interrupted run: identical warm inputs (pinned in the
+		// record) plus the persisted measurement checkpoint served from
+		// cache — the deterministic algorithm re-derives the same result
+		// without re-measuring.
+		problem.Warm = resumed.Warm
+		if len(resumed.Checkpoint) > 0 {
+			problem.Collector().Preload(resumed.Checkpoint)
+		}
+		fmt.Fprintf(stdout, "resuming run %s from %d checkpointed measurements\n", resumed.ID, len(resumed.Checkpoint))
+	} else if *warm {
+		if w := ceal.WarmFromHistory(db, spec); w != nil {
+			problem.Warm = w
+			nComp := 0
+			for _, cs := range w.ComponentSamples {
+				nComp += len(cs)
+			}
+			fmt.Fprintf(stdout, "warm start: %d prior workflow samples, %d prior component samples from %s\n",
+				len(w.Samples), nComp, *history)
+		} else {
+			fmt.Fprintf(stdout, "warm start: no applicable prior runs in %s; starting cold\n", *history)
+		}
+	}
+
+	// With a history DB attached, the run is recorded through its lifecycle
+	// and checkpointed after every measured batch, so even a hard kill
+	// leaves a resumable record behind.
+	var rec *histdb.RunRecord
+	if db != nil {
+		if resumed != nil {
+			rec = resumed
+			rec.State = histdb.StateRunning
+			rec.Error = ""
+			rec.Result = nil
+			rec.Trace = nil
+			rec.StartedAt = time.Now()
+			rec.FinishedAt = time.Time{}
+		} else {
+			names := make([]string, len(b.Components))
+			for i, c := range b.Components {
+				names[i] = c.Name
+			}
+			now := time.Now()
+			rec = &histdb.RunRecord{
+				ID: histdb.NextID(db), Spec: spec, SpecKey: spec.Key(),
+				State: histdb.StateRunning, Components: names,
+				SubmittedAt: now, StartedAt: now,
+				Warm: problem.Warm,
+			}
+		}
+		if err := db.Save(rec); err != nil {
+			return fail(err)
+		}
+		problem.Observer = ceal.MultiObserver(problem.Observer,
+			&checkpointer{db: db, rec: rec, col: problem.Collector()})
+	}
 	var traceSink *ceal.JSONLWriter
 	var traceFile *os.File
 	if *trace != "" {
@@ -103,7 +205,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			w = f
 		}
 		traceSink = ceal.NewJSONLWriter(w)
-		problem.Observer = traceSink
+		problem.Observer = ceal.MultiObserver(problem.Observer, traceSink)
 	}
 	start := time.Now()
 	res, err := alg.Tune(problem, *budget)
@@ -111,7 +213,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if traceFile != nil {
 			traceFile.Close()
 		}
+		if rec != nil {
+			rec.State = histdb.StateFailed
+			if ctx.Err() != nil {
+				rec.State = histdb.StateCancelled
+			}
+			rec.Error = err.Error()
+			rec.FinishedAt = time.Now()
+			rec.Checkpoint = problem.Collector().Snapshot()
+			if serr := db.Save(rec); serr == nil {
+				fmt.Fprintf(stderr, "ceal-tune: run %s checkpointed with %d measurements; resume with -history %s -resume %s\n",
+					rec.ID, len(rec.Checkpoint), *history, rec.ID)
+			}
+			db.Close()
+		}
 		return fail(err)
+	}
+	if rec != nil {
+		rec.State = histdb.StateDone
+		rec.Result = res
+		rec.Checkpoint = nil
+		rec.FinishedAt = time.Now()
+		if err := db.Save(rec); err != nil {
+			return fail(fmt.Errorf("history save: %w", err))
+		}
+		if err := db.Close(); err != nil {
+			return fail(fmt.Errorf("history close: %w", err))
+		}
+		fmt.Fprintf(stdout, "recorded run %s in %s\n", rec.ID, *history)
 	}
 	elapsed := time.Since(start)
 	if traceSink != nil {
@@ -157,6 +286,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	printImportance(stdout, problem.FeatureNames, res.Importance)
 	return 0
+}
+
+// checkpointer persists the run's measurement progress into the history DB
+// after every measured batch, keeping the record resumable across crashes.
+type checkpointer struct {
+	db  *histdb.FileStore
+	rec *histdb.RunRecord
+	col *ceal.Collector
+}
+
+func (c *checkpointer) OnEvent(e ceal.Event) {
+	if _, ok := e.(*events.BatchMeasured); !ok {
+		return
+	}
+	c.rec.Checkpoint = c.col.Snapshot()
+	_ = c.db.Save(c.rec)
 }
 
 // printImportance lists the surrogate's three most influential features.

@@ -69,3 +69,75 @@ func TestRunTraceToStdout(t *testing.T) {
 		t.Fatalf("stdout missing inline trace:\n%s", out.String())
 	}
 }
+
+func TestRunHistoryRecordsAndWarm(t *testing.T) {
+	dbPath := filepath.Join(t.TempDir(), "history.jsonl")
+	var out, errOut bytes.Buffer
+	args := []string{"-workflow", "LV", "-algorithm", "rs", "-budget", "5", "-pool", "30", "-history", dbPath}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "recorded run run-000001 in "+dbPath) {
+		t.Fatalf("stdout missing record notice:\n%s", out.String())
+	}
+
+	// A warm run against the populated DB reports its seed counts; warm data
+	// only exists for a family match, and rs leaves workflow samples behind.
+	out.Reset()
+	errOut.Reset()
+	args = append(args, "-warm")
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("warm exit = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "warm start: 5 prior workflow samples") {
+		t.Fatalf("stdout missing warm-start notice:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "recorded run run-000002") {
+		t.Fatalf("second run not recorded:\n%s", out.String())
+	}
+}
+
+func TestRunResumeErrors(t *testing.T) {
+	dbPath := filepath.Join(t.TempDir(), "history.jsonl")
+
+	// -resume without -history is a usage error.
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-resume", "run-000001"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "-resume requires -history") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+
+	// -warm without -history likewise.
+	errOut.Reset()
+	if code := run([]string{"-warm"}, &out, &errOut); code != 1 ||
+		!strings.Contains(errOut.String(), "-warm requires -history") {
+		t.Fatalf("warm without history: exit %d, stderr %q", code, errOut.String())
+	}
+
+	// Unknown run ID: non-zero exit with a clear message naming the ID.
+	errOut.Reset()
+	args := []string{"-history", dbPath, "-resume", "run-424242"}
+	if code := run(args, &out, &errOut); code != 1 {
+		t.Fatalf("unknown-ID exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), `run "run-424242" not found`) {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+
+	// A completed run is not resumable: its result is already recorded.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-workflow", "LV", "-algorithm", "rs", "-budget", "5", "-pool", "30", "-history", dbPath}, &out, &errOut); code != 0 {
+		t.Fatalf("seed run failed: %s", errOut.String())
+	}
+	errOut.Reset()
+	args = []string{"-history", dbPath, "-resume", "run-000001"}
+	if code := run(args, &out, &errOut); code != 1 {
+		t.Fatalf("done-run resume exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "run run-000001 already completed") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}

@@ -154,6 +154,37 @@ func (c *Collector) Stats() Stats {
 	}
 }
 
+// Snapshot returns the cache's scalar measurements keyed by cache key —
+// the persistable checkpoint of everything measured so far. Entries from
+// the generic RunKeyed API (non-float64 values) are skipped: checkpoints
+// cover the tuning measurement namespaces ("w:", "c<j>:") only.
+func (c *Collector) Snapshot() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]float64, len(c.cache))
+	for k, v := range c.cache {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
+	}
+	return out
+}
+
+// Preload seeds the cache with previously measured values, so matching
+// requests are served as hits instead of fresh evaluations — the replay
+// path of checkpoint/resume: because evaluators are deterministic per key,
+// a preloaded cache makes re-running the same algorithm reproduce the
+// original run without re-measuring. Existing entries win over vals.
+func (c *Collector) Preload(vals map[string]float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range vals {
+		if _, ok := c.cache[k]; !ok {
+			c.cache[k] = v
+		}
+	}
+}
+
 // MeasureWorkflows measures workflow configurations and returns samples in
 // submission order. Cached configurations are served without dispatching;
 // duplicate configurations within the batch (or concurrently in flight

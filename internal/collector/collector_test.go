@@ -296,3 +296,59 @@ func TestNoEvaluatorErrors(t *testing.T) {
 		t.Fatal("MeasureComponents with no evaluator must error")
 	}
 }
+
+func TestSnapshotPreloadRoundTrip(t *testing.T) {
+	eval := newCountingEval()
+	c := New(eval, nil)
+	if _, err := c.MeasureWorkflows(context.Background(), cfgs([]int{1, 2}, []int{3, 4})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MeasureComponents(context.Background(), 0, cfgs([]int{5})); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Snapshot has %d entries, want 3: %v", len(snap), snap)
+	}
+
+	// A fresh collector preloaded with the snapshot must serve the same
+	// requests purely from cache: zero evaluator calls, identical values.
+	eval2 := newCountingEval()
+	c2 := New(eval2, nil)
+	c2.Preload(snap)
+	s, err := c2.MeasureWorkflows(context.Background(), cfgs([]int{1, 2}, []int{3, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eval2.totalWfCalls(); got != 0 {
+		t.Fatalf("preloaded collector re-measured %d times", got)
+	}
+	if s[0].Value != 1*1+2*2 || s[1].Value != 1*3+2*4 {
+		t.Fatalf("preloaded values wrong: %v", s)
+	}
+	st := c2.Stats()
+	if st.Hits != 2 || st.Misses != 0 {
+		t.Fatalf("preload stats = %+v, want 2 hits 0 misses", st)
+	}
+
+	// Preload never overwrites live entries: a measured value wins over a
+	// conflicting checkpoint entry.
+	c2.Preload(map[string]float64{"w:1,2": -999})
+	s, err = c2.MeasureWorkflows(context.Background(), cfgs([]int{1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0].Value == -999 {
+		t.Fatal("Preload overwrote an existing cache entry")
+	}
+
+	// Non-scalar RunKeyed entries stay out of snapshots.
+	if _, err := RunKeyed(context.Background(), c, []string{"gt:0"}, func(i, attempt int) (struct{ X int }, error) {
+		return struct{ X int }{7}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if snap := c.Snapshot(); len(snap) != 3 {
+		t.Fatalf("non-scalar entry leaked into snapshot: %v", snap)
+	}
+}

@@ -1,0 +1,185 @@
+package histdb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileStore is a JSONL-file-backed Store: every Save appends the full
+// record as one JSON line, and opening replays the log with last-write-wins
+// per ID — so finished runs survive daemon restarts and identical
+// resubmissions keep being served from disk. The log is append-only (a
+// run's lifecycle leaves one line per state transition); Compact rewrites
+// it to one line per run.
+//
+// Crash tolerance: a process killed mid-append can leave a partial final
+// line (the OS flushed a prefix of the last write). OpenFileStore drops an
+// unterminated, unparseable tail instead of refusing the log, because the
+// replayed prefix is still a consistent store state. Corrupt *terminated*
+// lines are real damage and still fail the open.
+type FileStore struct {
+	mem  *MemStore
+	mu   sync.Mutex // serializes appends
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// OpenFileStore opens (or creates) the JSONL run log at path.
+func OpenFileStore(path string) (*FileStore, error) {
+	mem := NewMemStore()
+	if data, err := os.ReadFile(path); err == nil {
+		terminated := len(data) == 0 || data[len(data)-1] == '\n'
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+		line := 0
+		var lines [][]byte
+		for sc.Scan() {
+			line++
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			lines = append(lines, append([]byte(nil), sc.Bytes()...))
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("histdb: %s: %w", path, err)
+		}
+		for i, raw := range lines {
+			var rec RunRecord
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				// An unterminated final line is a crash tail from an
+				// interrupted append: drop it and keep the consistent prefix.
+				if i == len(lines)-1 && !terminated {
+					break
+				}
+				return nil, fmt.Errorf("histdb: %s line %d: %w", path, i+1, err)
+			}
+			mem.mu.Lock()
+			mem.put(&rec)
+			mem.mu.Unlock()
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileStore{mem: mem, path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Save implements Store: update the in-memory view, then append the line.
+func (s *FileStore) Save(rec *RunRecord) error {
+	if err := s.mem.Save(rec); err != nil {
+		return err
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// Get implements Store.
+func (s *FileStore) Get(id string) (*RunRecord, bool) { return s.mem.Get(id) }
+
+// List implements Store.
+func (s *FileStore) List() []*RunRecord { return s.mem.List() }
+
+// BySpec implements Store.
+func (s *FileStore) BySpec(key string) (*RunRecord, bool) { return s.mem.BySpec(key) }
+
+// ByWorkflow implements Store.
+func (s *FileStore) ByWorkflow(benchmark string) []*RunRecord { return s.mem.ByWorkflow(benchmark) }
+
+// ByComponent implements Store.
+func (s *FileStore) ByComponent(name string) []*RunRecord { return s.mem.ByComponent(name) }
+
+// BySpecFamily implements Store.
+func (s *FileStore) BySpecFamily(family string) []*RunRecord { return s.mem.BySpecFamily(family) }
+
+// Close flushes and closes the log file.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// Path returns the log file's path.
+func (s *FileStore) Path() string { return s.path }
+
+// Compact rewrites the log to its current state: one line per run. The
+// compacted log is written to a temp file, synced, and atomically renamed
+// over the original — a crash at any point leaves either the old log or
+// the new one intact, never a mix. Stray temp files from an interrupted
+// compact are harmless (OpenFileStore never reads them) and are
+// overwritten by the next Compact.
+func (s *FileStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := s.mem.List()
+	tmp := s.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err == nil {
+			_, err = w.Write(append(line, '\n'))
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Drain pending appends into the old log first, so a rename failure
+	// leaves a complete (just uncompacted) original behind.
+	if err := s.w.Flush(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// The old handle now points at the unlinked inode; switch appends to
+	// the freshly compacted log before letting it go.
+	nf, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f.Close()
+	s.f = nf
+	s.w = bufio.NewWriter(nf)
+	return nil
+}

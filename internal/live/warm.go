@@ -1,0 +1,74 @@
+package live
+
+import (
+	"ceal/internal/cluster"
+	"ceal/internal/histdb"
+	"ceal/internal/tuner"
+	"ceal/internal/workflow"
+)
+
+// WarmFromHistory assembles transfer-learning data for a new run of spec
+// from the history database — the wiring between the store's query API and
+// tuner.WarmStart:
+//
+//   - workflow samples come from completed runs of the same spec family
+//     (Spec.FamilyKey: benchmark/algorithm/objective/pool, ignoring seed,
+//     budget, workers, and the warm flag);
+//   - component samples come from every completed run — of any benchmark —
+//     whose workflow shares a component application with spec's, filtered
+//     to the same objective (values are metric samples, and a component's
+//     standalone behaviour is workflow-independent).
+//
+// The result is deterministic for a fixed database state: both query axes
+// return store order, and assembly preserves it. Returns nil when the
+// database has nothing to offer (or the benchmark is unknown), which
+// callers treat as a cold start.
+func WarmFromHistory(db histdb.Store, spec histdb.Spec) *tuner.WarmStart {
+	n := spec.Normalize()
+	b, err := workflow.ByName(cluster.Default(), n.Benchmark)
+	if err != nil {
+		return nil
+	}
+	w := &tuner.WarmStart{}
+
+	// Phase-2 seeds: same-family workflow measurements.
+	for _, rec := range db.BySpecFamily(n.FamilyKey()) {
+		if rec.Result == nil {
+			continue
+		}
+		w.Samples = append(w.Samples, rec.Result.Samples...)
+	}
+
+	// Phase-1 seeds: standalone component measurements from any run sharing
+	// a component, mapped through the donor's Components index.
+	w.ComponentSamples = make([][]tuner.Sample, len(b.Components))
+	for j, cs := range b.Components {
+		if cs.Space == nil {
+			continue
+		}
+		for _, rec := range db.ByComponent(cs.Name) {
+			if rec.Result == nil || rec.Spec.Normalize().Objective != n.Objective {
+				continue
+			}
+			idx := indexOf(rec.Components, cs.Name)
+			if idx < 0 || idx >= len(rec.Result.ComponentSamples) {
+				continue
+			}
+			w.ComponentSamples[j] = append(w.ComponentSamples[j], rec.Result.ComponentSamples[idx]...)
+		}
+	}
+
+	if w.Empty() {
+		return nil
+	}
+	return w
+}
+
+func indexOf(names []string, want string) int {
+	for i, n := range names {
+		if n == want {
+			return i
+		}
+	}
+	return -1
+}

@@ -51,6 +51,7 @@ func All() []Experiment {
 		{"fig12", "Fig. 12: practicality with histories, CEAL vs ALpH", []string{"LV", "HS"}, runFig12},
 		{"fig13", "Fig. 13: CEAL hyper-parameter sensitivity (LV computer time, 50 samples)", []string{"LV"}, runFig13},
 		{"conv", "Convergence: per-iteration best-so-far trajectories from the run-event trace (LV computer time, 50 samples)", []string{"LV"}, runConvergence},
+		{"warm", "Warm start: cold vs warm CEAL measurements-to-target, transfer learning from the history DB (all workflows, computer time)", []string{"LV", "HS", "GP"}, runWarm},
 		{"ablation", "Ablations: combiner choice, model switch, bias escape, ensembles, BO", []string{"LV"}, runAblations},
 	}
 }

@@ -8,6 +8,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ceal/internal/collector"
+	"ceal/internal/histdb"
+	"ceal/internal/live"
 	"ceal/internal/tuner"
 	"ceal/internal/tuner/events"
 )
@@ -24,6 +27,12 @@ var (
 	ErrNotFound = errors.New("service: run not found")
 	// ErrFinished rejects cancelling an already-finished run (HTTP 409).
 	ErrFinished = errors.New("service: run already finished")
+	// ErrInFlight rejects resuming a run that is still queued or running
+	// (HTTP 409).
+	ErrInFlight = errors.New("service: run still in flight")
+	// ErrNotResumable rejects resuming a run that completed successfully —
+	// its result is already in the store (HTTP 409).
+	ErrNotResumable = errors.New("service: run already done, nothing to resume")
 )
 
 // Options configures a Manager.
@@ -37,7 +46,7 @@ type Options struct {
 	// owns it and closes it on Shutdown.
 	Store Store
 	// Build assembles the problem and algorithm for a normalized spec
-	// (default JobSpec.Build; tests inject instrumented problems here).
+	// (default BuildSpec; tests inject instrumented problems here).
 	Build func(JobSpec) (*tuner.Problem, tuner.Algorithm, error)
 }
 
@@ -50,10 +59,14 @@ type Metrics struct {
 	Cancelled uint64 `json:"runs_cancelled"`
 	// Deduped counts submissions served from the store or joined onto an
 	// identical in-flight run instead of re-running.
-	Deduped    uint64 `json:"runs_deduped"`
-	QueueDepth int    `json:"queue_depth"`
-	Running    int    `json:"running"`
-	Workers    int    `json:"workers"`
+	Deduped uint64 `json:"runs_deduped"`
+	// Resumed counts interrupted runs re-admitted through Resume.
+	Resumed uint64 `json:"runs_resumed"`
+	// WarmStarted counts admissions that attached history-derived warm data.
+	WarmStarted uint64 `json:"runs_warm_started"`
+	QueueDepth  int    `json:"queue_depth"`
+	Running     int    `json:"running"`
+	Workers     int    `json:"workers"`
 	// Aggregated collector cache behaviour across finished runs.
 	CacheHits   uint64 `json:"collector_cache_hits"`
 	CacheMisses uint64 `json:"collector_cache_misses"`
@@ -91,6 +104,7 @@ type Manager struct {
 
 	submitted, started, finished atomic.Uint64
 	failed, cancelled, deduped   atomic.Uint64
+	resumed, warmStarted         atomic.Uint64
 	running                      atomic.Int64
 	cacheHits, cacheMisses       atomic.Uint64
 	coalesced, retries           atomic.Uint64
@@ -110,7 +124,7 @@ func NewManager(opts Options) *Manager {
 		opts.Store = NewMemStore()
 	}
 	if opts.Build == nil {
-		opts.Build = func(spec JobSpec) (*tuner.Problem, tuner.Algorithm, error) { return spec.Build() }
+		opts.Build = BuildSpec
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
@@ -132,23 +146,14 @@ func NewManager(opts Options) *Manager {
 }
 
 // maxSeq resumes the run-ID counter past every ID already in the store.
-func maxSeq(s Store) int {
-	max := 0
-	for _, rec := range s.List() {
-		var n int
-		if _, err := fmt.Sscanf(rec.ID, "run-%d", &n); err == nil && n > max {
-			max = n
-		}
-	}
-	return max
-}
+func maxSeq(s Store) int { return histdb.MaxSeq(s) }
 
 // Submit admits a tuning job. The returned record is a snapshot; fresh
 // reports whether a new run was queued (false: served from the store or
 // joined onto an identical in-flight run).
 func (m *Manager) Submit(spec JobSpec) (rec *RunRecord, fresh bool, err error) {
 	spec = spec.Normalize()
-	if err := spec.Validate(); err != nil {
+	if err := ValidateSpec(spec); err != nil {
 		return nil, false, err
 	}
 	key := spec.Key()
@@ -158,15 +163,20 @@ func (m *Manager) Submit(spec JobSpec) (rec *RunRecord, fresh bool, err error) {
 	if m.draining {
 		return nil, false, ErrDraining
 	}
-	// An identical spec already queued or running: join it.
-	if j, ok := m.byKey[key]; ok {
-		m.deduped.Add(1)
-		return j.rec.clone(), false, nil
-	}
-	// An identical spec already completed: serve it from the store.
-	if stored, ok := m.store.BySpec(key); ok {
-		m.deduped.Add(1)
-		return stored, false, nil
+	// Warm-started specs never dedupe: their result depends on the history
+	// available when they start, so two submissions of the same warm spec
+	// are different jobs.
+	if !spec.WarmStart {
+		// An identical spec already queued or running: join it.
+		if j, ok := m.byKey[key]; ok {
+			m.deduped.Add(1)
+			return j.rec.Clone(), false, nil
+		}
+		// An identical spec already completed: serve it from the store.
+		if stored, ok := m.store.BySpec(key); ok {
+			m.deduped.Add(1)
+			return stored, false, nil
+		}
 	}
 
 	m.seq++
@@ -176,6 +186,7 @@ func (m *Manager) Submit(spec JobSpec) (rec *RunRecord, fresh bool, err error) {
 			Spec:        spec,
 			SpecKey:     key,
 			State:       StateQueued,
+			Components:  ComponentNames(spec),
 			SubmittedAt: m.now(),
 		},
 		hub:  newHub(),
@@ -189,14 +200,62 @@ func (m *Manager) Submit(spec JobSpec) (rec *RunRecord, fresh bool, err error) {
 		return nil, false, ErrQueueFull
 	}
 	m.jobs[j.rec.ID] = j
-	m.byKey[key] = j
+	if !spec.WarmStart {
+		m.byKey[key] = j
+	}
 	m.submitted.Add(1)
 	if err := m.store.Save(j.rec); err != nil {
 		// The job still runs; persistence of later transitions may succeed.
 		// The record itself is unaffected.
 		_ = err
 	}
-	return j.rec.clone(), true, nil
+	return j.rec.Clone(), true, nil
+}
+
+// Resume re-admits an interrupted (failed, cancelled, or crash-orphaned
+// queued/running) run from the store. The run replays deterministically:
+// its persisted measurement checkpoint preloads the collector cache, so
+// already-measured configurations are served as hits and the final Result
+// is byte-identical to what the uninterrupted run would have produced.
+// Completed runs return ErrNotResumable; live ones ErrInFlight.
+func (m *Manager) Resume(id string) (*RunRecord, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrDraining
+	}
+	if _, ok := m.jobs[id]; ok {
+		return nil, ErrInFlight
+	}
+	rec, ok := m.store.Get(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if rec.State == StateDone {
+		return nil, ErrNotResumable
+	}
+	// Reset the lifecycle; keep Checkpoint and Warm — they are the run's
+	// replay inputs.
+	rec.State = StateQueued
+	rec.Error = ""
+	rec.Result = nil
+	rec.Trace = nil
+	rec.StartedAt = time.Time{}
+	rec.FinishedAt = time.Time{}
+	j := &job{rec: rec, hub: newHub(), done: make(chan struct{})}
+	j.ctx, j.cancel = context.WithCancel(m.rootCtx)
+	select {
+	case m.queue <- j:
+	default:
+		return nil, ErrQueueFull
+	}
+	m.jobs[id] = j
+	if _, taken := m.byKey[rec.SpecKey]; !taken && !rec.Spec.WarmStart {
+		m.byKey[rec.SpecKey] = j
+	}
+	m.resumed.Add(1)
+	m.saveLocked(j)
+	return rec.Clone(), nil
 }
 
 // worker drains the queue until Shutdown closes it.
@@ -233,8 +292,33 @@ func (m *Manager) runJob(j *job) {
 		m.mu.Unlock()
 		return
 	}
+
+	// Warm start (opt-in): assemble transfer-learning data from the history
+	// database once, on first execution, and pin it to the record — a
+	// resume then replays the exact same inputs even if the store has
+	// grown since admission.
+	if j.rec.Spec.WarmStart {
+		m.mu.Lock()
+		if j.rec.Warm == nil {
+			j.rec.Warm = live.WarmFromHistory(m.store, j.rec.Spec)
+			m.saveLocked(j)
+		}
+		warm := j.rec.Warm
+		m.mu.Unlock()
+		if !warm.Empty() {
+			p.Warm = warm
+			m.warmStarted.Add(1)
+		}
+	}
+	// Resume path: preload the collector cache with the interrupted run's
+	// measurements so the deterministic replay serves them as hits.
+	if len(j.rec.Checkpoint) > 0 {
+		p.Collector().Preload(j.rec.Checkpoint)
+	}
+
 	p.Ctx = j.ctx
-	p.Observer = events.Multi(p.Observer, j.hub)
+	ck := &checkpointer{m: m, j: j, col: p.Collector()}
+	p.Observer = events.Multi(p.Observer, j.hub, ck)
 
 	res, err := alg.Tune(p, j.rec.Spec.Budget)
 
@@ -246,8 +330,43 @@ func (m *Manager) runJob(j *job) {
 
 	m.mu.Lock()
 	j.rec.Collector = st
+	if err == nil {
+		// The result carries everything a resume would need.
+		j.rec.Checkpoint = nil
+	} else {
+		// Keep the interrupted run resumable even if the last in-run
+		// checkpoint write lost a race with cancellation.
+		j.rec.Checkpoint = ck.col.Snapshot()
+	}
 	m.finalize(j, res, err)
 	m.mu.Unlock()
+}
+
+// checkpointer persists a live run's measurement progress: after every
+// measured batch (and model fit) it snapshots the collector cache and the
+// trace so far into the run record and writes it through to the store.
+// A run killed at any point — even SIGKILL — is then resumable from its
+// last completed batch.
+type checkpointer struct {
+	m   *Manager
+	j   *job
+	col *collector.Collector
+}
+
+func (c *checkpointer) OnEvent(e events.Event) {
+	switch e.(type) {
+	case *events.BatchMeasured, *events.ModelTrained:
+	default:
+		return
+	}
+	snap := c.col.Snapshot()
+	c.m.mu.Lock()
+	if !c.j.rec.State.Terminal() {
+		c.j.rec.Checkpoint = snap
+		c.j.rec.Trace = c.j.hub.Lines()
+		c.m.saveLocked(c.j)
+	}
+	c.m.mu.Unlock()
 }
 
 // finalize moves a job to its terminal state, persists it, and retires it
@@ -293,7 +412,7 @@ func (m *Manager) saveLocked(j *job) {
 func (m *Manager) Get(id string) (*RunRecord, bool) {
 	m.mu.Lock()
 	if j, ok := m.jobs[id]; ok {
-		rec := j.rec.clone()
+		rec := j.rec.Clone()
 		m.mu.Unlock()
 		return rec, true
 	}
@@ -309,6 +428,12 @@ func (m *Manager) List() []*RunRecord {
 	return m.store.List()
 }
 
+// History queries the history database: completed runs matching every set
+// field of q, in store order.
+func (m *Manager) History(q histdb.Query) []*RunRecord {
+	return histdb.Select(m.store, q)
+}
+
 // Cancel requests cancellation of a queued or running run. The returned
 // snapshot reflects the state at return time: queued jobs are terminal
 // immediately, running jobs finish (as cancelled) within one measurement
@@ -322,7 +447,7 @@ func (m *Manager) Cancel(id string) (*RunRecord, error) {
 			// context; reflect the terminal state now.
 			m.finalize(j, nil, context.Canceled)
 		}
-		rec := j.rec.clone()
+		rec := j.rec.Clone()
 		m.mu.Unlock()
 		return rec, nil
 	}
@@ -375,6 +500,8 @@ func (m *Manager) Metrics() Metrics {
 		Failed:      m.failed.Load(),
 		Cancelled:   m.cancelled.Load(),
 		Deduped:     m.deduped.Load(),
+		Resumed:     m.resumed.Load(),
+		WarmStarted: m.warmStarted.Load(),
 		QueueDepth:  len(m.queue),
 		Running:     int(m.running.Load()),
 		Workers:     m.opts.Workers,

@@ -36,7 +36,7 @@ func (e *slowEval) MeasureComponent(j int, cfg cfgspace.Config) (float64, error)
 // slowBuild builds the spec's real problem with every measurement delayed.
 func slowBuild(delay time.Duration) func(JobSpec) (*tuner.Problem, tuner.Algorithm, error) {
 	return func(spec JobSpec) (*tuner.Problem, tuner.Algorithm, error) {
-		p, alg, err := spec.Build()
+		p, alg, err := BuildSpec(spec)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -126,7 +126,7 @@ func TestManagerInFlightDedupAndQueueFull(t *testing.T) {
 		QueueLimit: 1,
 		Build: func(spec JobSpec) (*tuner.Problem, tuner.Algorithm, error) {
 			<-gate
-			return spec.Build()
+			return BuildSpec(spec)
 		},
 	})
 	defer m.Shutdown(context.Background())
@@ -170,7 +170,7 @@ func TestManagerCancelQueuedJob(t *testing.T) {
 		QueueLimit: 4,
 		Build: func(spec JobSpec) (*tuner.Problem, tuner.Algorithm, error) {
 			<-gate
-			return spec.Build()
+			return BuildSpec(spec)
 		},
 	})
 	defer m.Shutdown(context.Background())

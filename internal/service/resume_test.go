@@ -1,0 +1,274 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ceal/internal/tuner"
+)
+
+func TestResumeErrors(t *testing.T) {
+	gate := make(chan struct{})
+	m := NewManager(Options{
+		Workers: 1,
+		Build: func(spec JobSpec) (*tuner.Problem, tuner.Algorithm, error) {
+			<-gate
+			return BuildSpec(spec)
+		},
+	})
+	defer m.Shutdown(context.Background())
+	defer close(gate)
+
+	if _, err := m.Resume("run-999999"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown ID resume = %v, want ErrNotFound", err)
+	}
+
+	rec, _, err := m.Submit(tinySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queued or running runs are in flight, not resumable.
+	if _, err := m.Resume(rec.ID); !errors.Is(err, ErrInFlight) {
+		t.Fatalf("in-flight resume = %v, want ErrInFlight", err)
+	}
+}
+
+func TestResumeDoneRunRefused(t *testing.T) {
+	m := NewManager(Options{Workers: 1})
+	defer m.Shutdown(context.Background())
+	rec, _, err := m.Submit(tinySpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitDone(t, m, rec.ID); got.State != StateDone {
+		t.Fatalf("state = %s", got.State)
+	}
+	if _, err := m.Resume(rec.ID); !errors.Is(err, ErrNotResumable) {
+		t.Fatalf("done resume = %v, want ErrNotResumable", err)
+	}
+}
+
+// TestInterruptedRunResumesToIdenticalResult is the PR's core acceptance
+// check: a run interrupted mid-flight and resumed from its persisted
+// checkpoint — across a full daemon restart — must produce the same final
+// Result as the same spec run uninterrupted.
+func TestInterruptedRunResumesToIdenticalResult(t *testing.T) {
+	// AL measures in several batches (seed batch + per-iteration batches), so
+	// an interrupt after the first batch leaves a non-empty checkpoint: the
+	// collector only commits completed batches to its cache.
+	spec := JobSpec{Benchmark: "LV", Algorithm: "al", Objective: "comp", Budget: 40, Pool: 100, Seed: 11}
+
+	// Baseline: the uninterrupted run.
+	base := NewManager(Options{Workers: 1})
+	rec, _, err := base.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitDone(t, base, rec.ID)
+	if want.State != StateDone {
+		t.Fatalf("baseline state = %s (%s)", want.State, want.Error)
+	}
+	base.Shutdown(context.Background())
+
+	// Interrupted: same spec on a file store, killed mid-run by Shutdown
+	// (which cancels in-flight jobs the way a crash would orphan them).
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	fs, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := NewManager(Options{Workers: 1, Store: fs, Build: slowBuild(5 * time.Millisecond)})
+	rec, _, err = m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, m1, rec.ID)
+	// Wait for the first checkpoint (at least one measured batch) before
+	// interrupting.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got, ok := m1.Get(rec.ID); ok && len(got.Checkpoint) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared while running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a fresh manager over the same log resumes the orphan.
+	fs2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, ok := fs2.Get(rec.ID)
+	if !ok || stored.State == StateDone {
+		t.Fatalf("interrupted record = %+v, %v", stored, ok)
+	}
+	if len(stored.Checkpoint) == 0 {
+		t.Fatal("interrupted run has no checkpoint")
+	}
+	m2 := NewManager(Options{Workers: 1, Store: fs2})
+	defer m2.Shutdown(context.Background())
+	if _, err := m2.Resume(rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	got := waitDone(t, m2, rec.ID)
+	if got.State != StateDone {
+		t.Fatalf("resumed state = %s (%s)", got.State, got.Error)
+	}
+	if got.Checkpoint != nil {
+		t.Fatal("checkpoint not cleared on completion")
+	}
+
+	wantJSON, _ := json.Marshal(want.Result)
+	gotJSON, _ := json.Marshal(got.Result)
+	if string(wantJSON) != string(gotJSON) {
+		t.Fatalf("resumed result differs from uninterrupted run:\nwant %s\ngot  %s", wantJSON, gotJSON)
+	}
+	// The preloaded checkpoint must have served real hits: the resumed run
+	// re-measures strictly less than the baseline.
+	if got.Collector.Misses >= want.Collector.Misses {
+		t.Fatalf("resume re-measured everything: %d misses vs baseline %d",
+			got.Collector.Misses, want.Collector.Misses)
+	}
+	if mt := m2.Metrics(); mt.Resumed != 1 {
+		t.Fatalf("metrics = %+v", mt)
+	}
+}
+
+func TestWarmSubmitNeverDedupes(t *testing.T) {
+	m := NewManager(Options{Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	// Seed the history with a completed cold run of the same family.
+	cold := JobSpec{Benchmark: "LV", Algorithm: "ceal", Objective: "comp", Budget: 8, Pool: 30, Seed: 5}
+	rec, _, err := m.Submit(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitDone(t, m, rec.ID); got.State != StateDone {
+		t.Fatalf("cold run = %s (%s)", got.State, got.Error)
+	}
+
+	warm := cold
+	warm.WarmStart = true
+	w1, fresh, err := m.Submit(warm)
+	if err != nil || !fresh {
+		t.Fatalf("warm submit = %v, fresh %v", err, fresh)
+	}
+	g1 := waitDone(t, m, w1.ID)
+	if g1.State != StateDone {
+		t.Fatalf("warm run = %s (%s)", g1.State, g1.Error)
+	}
+	// Warm data was assembled from history and pinned to the record.
+	if g1.Warm.Empty() {
+		t.Fatal("warm run pinned no warm data despite available history")
+	}
+	if mt := m.Metrics(); mt.WarmStarted != 1 {
+		t.Fatalf("metrics = %+v", mt)
+	}
+
+	// A second identical warm submission is a new job, never a dedup hit:
+	// the history it draws on has changed.
+	w2, fresh, err := m.Submit(warm)
+	if err != nil || !fresh {
+		t.Fatalf("second warm submit = %v, fresh %v", err, fresh)
+	}
+	if w2.ID == w1.ID {
+		t.Fatal("warm submission deduped onto a prior warm run")
+	}
+	if got := waitDone(t, m, w2.ID); got.State != StateDone {
+		t.Fatalf("second warm run = %s (%s)", got.State, got.Error)
+	}
+}
+
+func TestHistoryEndpointAndResumeRoutes(t *testing.T) {
+	m := NewManager(Options{Workers: 1})
+	defer m.Shutdown(context.Background())
+	srv := httptest.NewServer(NewServer(m))
+	defer srv.Close()
+
+	lv, _, err := m.Submit(tinySpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, lv.ID)
+	hs, _, err := m.Submit(JobSpec{Benchmark: "HS", Algorithm: "rs", Objective: "comp", Budget: 5, Pool: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, hs.ID)
+
+	var out struct {
+		Runs []struct {
+			ID         string   `json:"id"`
+			Family     string   `json:"family"`
+			Components []string `json:"components"`
+			Samples    int      `json:"samples"`
+		} `json:"runs"`
+	}
+	getJSON := func(url string) {
+		t.Helper()
+		resp, err := srv.Client().Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d", url, resp.StatusCode)
+		}
+		out.Runs = nil
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	getJSON(srv.URL + "/v1/history")
+	if len(out.Runs) != 2 {
+		t.Fatalf("unfiltered history = %d runs", len(out.Runs))
+	}
+	getJSON(srv.URL + "/v1/history?workflow=lv")
+	if len(out.Runs) != 1 || out.Runs[0].ID != lv.ID {
+		t.Fatalf("workflow filter = %+v", out.Runs)
+	}
+	if out.Runs[0].Samples != 5 || out.Runs[0].Family == "" {
+		t.Fatalf("history item incomplete: %+v", out.Runs[0])
+	}
+	getJSON(srv.URL + "/v1/history?component=" + out.Runs[0].Components[0])
+	if len(out.Runs) != 1 {
+		t.Fatalf("component filter = %+v", out.Runs)
+	}
+	getJSON(srv.URL + "/v1/history?family=" + tinySpec(3).FamilyKey())
+	if len(out.Runs) != 1 || out.Runs[0].ID != lv.ID {
+		t.Fatalf("family filter = %+v", out.Runs)
+	}
+
+	// Resume routes: a done run is 409, an unknown one 404.
+	resp, err := srv.Client().Post(srv.URL+"/v1/runs/"+lv.ID+"/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 409 {
+		t.Fatalf("resume done run = %d, want 409", resp.StatusCode)
+	}
+	resp, err = srv.Client().Post(srv.URL+"/v1/runs/run-999999/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("resume unknown run = %d, want 404", resp.StatusCode)
+	}
+}

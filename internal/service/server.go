@@ -7,6 +7,9 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"time"
+
+	"ceal/internal/histdb"
 )
 
 // Server is the HTTP JSON API over a Manager — cmd/ceal-serve's handler.
@@ -15,7 +18,9 @@ import (
 //	GET    /v1/runs             list all runs
 //	GET    /v1/runs/{id}        one run's record
 //	DELETE /v1/runs/{id}        cancel a queued or running run
+//	POST   /v1/runs/{id}/resume resume an interrupted run from its checkpoint
 //	GET    /v1/runs/{id}/events stream the run's event trace (SSE or JSONL)
+//	GET    /v1/history          query the history DB (?workflow=&component=&family=)
 //	GET    /healthz             liveness probe
 //	GET    /metrics             Prometheus-style counters
 type Server struct {
@@ -30,7 +35,9 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/runs", s.list)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.get)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.cancel)
+	s.mux.HandleFunc("POST /v1/runs/{id}/resume", s.resume)
 	s.mux.HandleFunc("GET /v1/runs/{id}/events", s.events)
+	s.mux.HandleFunc("GET /v1/history", s.history)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	return s
@@ -124,6 +131,77 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// resume re-admits an interrupted run: its persisted measurement
+// checkpoint replays instead of re-measuring (202 accepted).
+func (s *Server) resume(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.m.Resume(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrNotFound):
+		httpError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrNotResumable), errors.Is(err, ErrInFlight):
+		httpError(w, http.StatusConflict, err)
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrQueueFull):
+		httpError(w, http.StatusTooManyRequests, err)
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusAccepted, rec)
+	}
+}
+
+// history queries the history database. Filters combine conjunctively:
+// ?workflow=LV (benchmark), ?component=lammps (runs whose benchmark
+// contains the component), ?family=LV/ceal/comp/p2000 (exact spec-family
+// key). The response elides traces and pool scores; GET /v1/runs/{id}
+// carries the bulk.
+func (s *Server) history(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	recs := s.m.History(histdb.Query{
+		Workflow:  q.Get("workflow"),
+		Component: q.Get("component"),
+		Family:    q.Get("family"),
+	})
+	type item struct {
+		ID               string    `json:"id"`
+		Spec             JobSpec   `json:"spec"`
+		Family           string    `json:"family"`
+		Components       []string  `json:"components,omitempty"`
+		Samples          int       `json:"samples"`
+		ComponentSamples int       `json:"component_samples"`
+		BestValue        *float64  `json:"best_value,omitempty"`
+		FinishedAt       time.Time `json:"finished_at"`
+	}
+	items := make([]item, 0, len(recs))
+	for _, rec := range recs {
+		it := item{
+			ID:         rec.ID,
+			Spec:       rec.Spec,
+			Family:     rec.Spec.FamilyKey(),
+			Components: rec.Components,
+			FinishedAt: rec.FinishedAt,
+		}
+		if rec.Result != nil {
+			it.Samples = len(rec.Result.Samples)
+			for _, cs := range rec.Result.ComponentSamples {
+				it.ComponentSamples += len(cs)
+			}
+			if len(rec.Result.Samples) > 0 {
+				best := rec.Result.Samples[0].Value
+				for _, smp := range rec.Result.Samples[1:] {
+					if smp.Value < best {
+						best = smp.Value
+					}
+				}
+				it.BestValue = &best
+			}
+		}
+		items = append(items, it)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": items})
+}
+
 // events streams a run's trace. Late subscribers replay the buffered
 // prefix, then follow live until the run finishes (?follow=false stops
 // after the replay). With Accept: text/event-stream the lines are framed
@@ -182,6 +260,8 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		"ceal_runs_failed_total":            float64(mt.Failed),
 		"ceal_runs_cancelled_total":         float64(mt.Cancelled),
 		"ceal_runs_deduped_total":           float64(mt.Deduped),
+		"ceal_runs_resumed_total":           float64(mt.Resumed),
+		"ceal_runs_warm_started_total":      float64(mt.WarmStarted),
 		"ceal_queue_depth":                  float64(mt.QueueDepth),
 		"ceal_runs_running":                 float64(mt.Running),
 		"ceal_workers":                      float64(mt.Workers),

@@ -118,7 +118,7 @@ func TestServerResultIdenticalToDirectTune(t *testing.T) {
 	spec := JobSpec{Benchmark: "LV", Algorithm: "ceal", Objective: "comp", Budget: 12, Pool: 60, Seed: 5}
 
 	// Direct run with a recorder observer.
-	p, alg, err := spec.Normalize().Build()
+	p, alg, err := BuildSpec(spec.Normalize())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -464,7 +464,7 @@ func TestServerQueueFullAndHealth(t *testing.T) {
 		QueueLimit: 1,
 		Build: func(spec JobSpec) (*tuner.Problem, tuner.Algorithm, error) {
 			<-gate
-			return spec.Build()
+			return BuildSpec(spec)
 		},
 	})
 	defer close(gate)

@@ -1,8 +1,9 @@
 // Package service turns the auto-tuning library into a deployable system:
 // a job manager that runs tuning jobs concurrently on a bounded worker
 // pool, an event hub that fans each run's structured trace out to live
-// subscribers (with replay for late joiners), a Store that persists
-// finished runs, and an HTTP JSON API (cmd/ceal-serve) over all of it.
+// subscribers (with replay for late joiners), a history database
+// (internal/histdb) that persists finished runs and feeds warm starts, and
+// an HTTP JSON API (cmd/ceal-serve) over all of it.
 //
 // The paper frames CEAL as the auto-tuner a facility operates for its
 // users ahead of production campaigns (§2.2); this package is that
@@ -11,15 +12,17 @@
 // the seed), so a run submitted through the service returns a Result
 // byte-identical to the same Tune call made directly, and repeated
 // submissions of an identical spec are served from the store instead of
-// re-running.
+// re-running. Warm-started runs additionally depend on the history
+// available at admission; the assembled warm data is pinned into the run
+// record so resuming replays identical inputs.
 package service
 
 import (
 	"fmt"
-	"strings"
 
 	"ceal/internal/cluster"
 	"ceal/internal/emews"
+	"ceal/internal/histdb"
 	"ceal/internal/live"
 	"ceal/internal/tuner"
 	"ceal/internal/workflow"
@@ -27,68 +30,18 @@ import (
 
 // Default spec values applied by Normalize.
 const (
-	DefaultBudget = 50
-	DefaultPool   = 2000
+	DefaultBudget = histdb.DefaultBudget
+	DefaultPool   = histdb.DefaultPool
 )
 
-// JobSpec describes one tuning job: which benchmark workflow to tune, with
-// which algorithm, toward which objective, under which budget. It is the
-// POST /v1/runs request body. A spec fully determines its run — two
-// identical specs produce byte-identical results — which is what lets the
-// service dedupe repeated submissions against the store.
-type JobSpec struct {
-	// Benchmark is the workflow to tune: LV, HS, or GP.
-	Benchmark string `json:"benchmark"`
-	// Algorithm is the tuning algorithm: rs, al, geist, alph, ceal, bo,
-	// hyboost, or knnselect. Defaults to ceal.
-	Algorithm string `json:"algorithm,omitempty"`
-	// Objective is the optimization metric: exec, comp, or energy.
-	// Defaults to comp.
-	Objective string `json:"objective,omitempty"`
-	// Budget is the measurement budget in workflow-run equivalents
-	// (default 50).
-	Budget int `json:"budget,omitempty"`
-	// Pool is the candidate pool size (default 2000).
-	Pool int `json:"pool,omitempty"`
-	// Seed drives every random choice of the run (default 1).
-	Seed uint64 `json:"seed,omitempty"`
-	// Workers is the per-run measurement and scoring parallelism
-	// (default 1; never changes results).
-	Workers int `json:"workers,omitempty"`
-}
+// JobSpec describes one tuning job — histdb's Spec, whose normalized form
+// is the store's identity. Validation and problem assembly stay here
+// (ValidateSpec, BuildSpec) so histdb carries no registry dependencies.
+type JobSpec = histdb.Spec
 
-// Normalize returns the spec with names canonicalized (benchmark upper,
-// algorithm/objective lower) and defaults applied. Key and Build both
-// operate on the normalized form, so specs differing only in case or in
-// explicitly-spelled defaults are the same job.
-func (s JobSpec) Normalize() JobSpec {
-	s.Benchmark = strings.ToUpper(strings.TrimSpace(s.Benchmark))
-	s.Algorithm = strings.ToLower(strings.TrimSpace(s.Algorithm))
-	s.Objective = strings.ToLower(strings.TrimSpace(s.Objective))
-	if s.Algorithm == "" {
-		s.Algorithm = "ceal"
-	}
-	if s.Objective == "" {
-		s.Objective = "comp"
-	}
-	if s.Budget == 0 {
-		s.Budget = DefaultBudget
-	}
-	if s.Pool == 0 {
-		s.Pool = DefaultPool
-	}
-	if s.Seed == 0 {
-		s.Seed = 1
-	}
-	if s.Workers <= 0 {
-		s.Workers = 1
-	}
-	return s
-}
-
-// Validate checks the normalized spec against the benchmark, algorithm and
-// objective registries and the numeric ranges.
-func (s JobSpec) Validate() error {
+// ValidateSpec checks the normalized spec against the benchmark, algorithm
+// and objective registries and the numeric ranges.
+func ValidateSpec(s JobSpec) error {
 	n := s.Normalize()
 	if _, err := workflow.ByName(cluster.Default(), n.Benchmark); err != nil {
 		return fmt.Errorf("service: %w", err)
@@ -108,19 +61,14 @@ func (s JobSpec) Validate() error {
 	return nil
 }
 
-// Key returns the spec's canonical identity string — the store's dedup key.
-func (s JobSpec) Key() string {
-	n := s.Normalize()
-	return fmt.Sprintf("%s/%s/%s/b%d/p%d/s%d", n.Benchmark, n.Algorithm, n.Objective, n.Budget, n.Pool, n.Seed)
-}
-
-// Build assembles the runnable problem and algorithm for the spec —
+// BuildSpec assembles the runnable problem and algorithm for the spec —
 // exactly what ceal.NewProblem plus ceal.AlgorithmByName would build for
 // the same arguments, so service results are byte-identical to direct
-// Tune calls.
-func (s JobSpec) Build() (*tuner.Problem, tuner.Algorithm, error) {
+// Tune calls. Warm-start data is attached separately by the Manager (it
+// depends on store state, not on the spec alone).
+func BuildSpec(s JobSpec) (*tuner.Problem, tuner.Algorithm, error) {
 	n := s.Normalize()
-	if err := n.Validate(); err != nil {
+	if err := ValidateSpec(n); err != nil {
 		return nil, nil, err
 	}
 	b, err := workflow.ByName(cluster.Default(), n.Benchmark)
@@ -141,4 +89,19 @@ func (s JobSpec) Build() (*tuner.Problem, tuner.Algorithm, error) {
 		p.Workers = n.Workers
 	}
 	return p, alg, nil
+}
+
+// ComponentNames returns the benchmark's component applications in problem
+// order for a valid spec (nil when the benchmark is unknown) — the
+// Components field of new run records.
+func ComponentNames(s JobSpec) []string {
+	b, err := workflow.ByName(cluster.Default(), s.Normalize().Benchmark)
+	if err != nil {
+		return nil
+	}
+	names := make([]string, len(b.Components))
+	for i, c := range b.Components {
+		names[i] = c.Name
+	}
+	return names
 }

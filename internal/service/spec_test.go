@@ -35,7 +35,7 @@ func TestSpecKeyCanonical(t *testing.T) {
 
 func TestSpecValidate(t *testing.T) {
 	good := JobSpec{Benchmark: "HS", Algorithm: "rs", Objective: "exec", Budget: 10, Pool: 50}
-	if err := good.Validate(); err != nil {
+	if err := ValidateSpec(good); err != nil {
 		t.Fatal(err)
 	}
 	for _, bad := range []JobSpec{
@@ -45,18 +45,18 @@ func TestSpecValidate(t *testing.T) {
 		{Benchmark: "LV", Budget: -1},
 		{Benchmark: "LV", Pool: -3},
 	} {
-		if err := bad.Validate(); err == nil {
+		if err := ValidateSpec(bad); err == nil {
 			t.Fatalf("spec %+v accepted", bad)
 		}
 	}
-	if err := (JobSpec{}).Validate(); err == nil {
+	if err := ValidateSpec(JobSpec{}); err == nil {
 		t.Fatal("empty benchmark accepted")
 	}
 }
 
 func TestSpecBuild(t *testing.T) {
 	spec := JobSpec{Benchmark: "LV", Algorithm: "rs", Objective: "comp", Budget: 5, Pool: 30, Seed: 7}
-	p, alg, err := spec.Build()
+	p, alg, err := BuildSpec(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestSpecBuild(t *testing.T) {
 	}
 	// Building twice yields the same candidate pool (spec fully determines
 	// the problem).
-	p2, _, err := spec.Build()
+	p2, _, err := BuildSpec(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestSpecBuild(t *testing.T) {
 			t.Fatalf("pool diverged at %d: %v vs %v", i, p.Pool[i], p2.Pool[i])
 		}
 	}
-	if _, _, err := (JobSpec{Benchmark: "nope"}).Build(); err == nil {
+	if _, _, err := BuildSpec(JobSpec{Benchmark: "nope"}); err == nil {
 		t.Fatal("bad spec built")
 	}
 }

@@ -1,283 +1,39 @@
 package service
 
-import (
-	"bufio"
-	"bytes"
-	"encoding/json"
-	"fmt"
-	"os"
-	"sort"
-	"sync"
-	"time"
+import "ceal/internal/histdb"
 
-	"ceal/internal/collector"
-	"ceal/internal/tuner"
-)
+// The run store moved to internal/histdb, where it doubles as the queryable
+// tuning-history database feeding warm starts. The service keeps these thin
+// aliases so its API (and its callers) read unchanged; construction and
+// behaviour live in histdb.
 
 // RunState is a run's lifecycle state.
-type RunState string
+type RunState = histdb.RunState
 
 // The run lifecycle: queued → running → done | failed | cancelled.
 const (
-	StateQueued    RunState = "queued"
-	StateRunning   RunState = "running"
-	StateDone      RunState = "done"
-	StateFailed    RunState = "failed"
-	StateCancelled RunState = "cancelled"
+	StateQueued    = histdb.StateQueued
+	StateRunning   = histdb.StateRunning
+	StateDone      = histdb.StateDone
+	StateFailed    = histdb.StateFailed
+	StateCancelled = histdb.StateCancelled
 )
 
-// Terminal reports whether the state is final.
-func (s RunState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
-}
-
 // RunRecord is the service's view of one submitted tuning job, from
-// submission through persistence. Zero timestamps mean "not yet".
-type RunRecord struct {
-	ID      string   `json:"id"`
-	Spec    JobSpec  `json:"spec"`
-	SpecKey string   `json:"spec_key"`
-	State   RunState `json:"state"`
+// submission through persistence — histdb's row type.
+type RunRecord = histdb.RunRecord
 
-	SubmittedAt time.Time `json:"submitted_at"`
-	StartedAt   time.Time `json:"started_at"`
-	FinishedAt  time.Time `json:"finished_at"`
-
-	// Result is the tuning outcome (done runs only). It is exactly the
-	// *tuner.Result the same Tune call would return directly.
-	Result *tuner.Result `json:"result,omitempty"`
-	// Error is the failure or cancellation cause (failed/cancelled runs).
-	Error string `json:"error,omitempty"`
-	// Trace is the run's full event stream as marshaled JSONL lines (the
-	// bytes GET /v1/runs/{id}/events replays). Partial for cancelled runs.
-	Trace []json.RawMessage `json:"trace,omitempty"`
-	// Collector is the run's measurement-cache statistics snapshot, taken
-	// when the run finished.
-	Collector collector.Stats `json:"collector_stats"`
-}
-
-// clone returns a shallow copy. Slice and pointer fields are shared but
-// treated as immutable once assigned, so the copy is safe to hand out.
-func (r *RunRecord) clone() *RunRecord {
-	cp := *r
-	return &cp
-}
-
-// Store persists run records. Implementations must be safe for concurrent
-// use. Records passed to Save are snapshots owned by the store; records
-// returned by Get/List/BySpec are owned by the caller.
-type Store interface {
-	// Save upserts a record by ID.
-	Save(rec *RunRecord) error
-	// Get returns the record with the given ID.
-	Get(id string) (*RunRecord, bool)
-	// List returns all records ordered by submission time, then ID.
-	List() []*RunRecord
-	// BySpec returns the completed (StateDone) record for a spec key, if
-	// any — the dedup lookup serving repeated submissions from the store.
-	BySpec(key string) (*RunRecord, bool)
-	// Close releases any underlying resources.
-	Close() error
-}
+// Store persists run records — the history database interface.
+type Store = histdb.Store
 
 // MemStore is the in-memory Store.
-type MemStore struct {
-	mu     sync.Mutex
-	byID   map[string]*RunRecord
-	bySpec map[string]string // spec key → ID of a done run
-}
+type MemStore = histdb.MemStore
 
 // NewMemStore returns an empty in-memory store.
-func NewMemStore() *MemStore {
-	return &MemStore{byID: make(map[string]*RunRecord), bySpec: make(map[string]string)}
-}
+func NewMemStore() *MemStore { return histdb.NewMemStore() }
 
-// Save implements Store.
-func (s *MemStore) Save(rec *RunRecord) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.put(rec.clone())
-	return nil
-}
-
-// put indexes a record. Callers hold s.mu.
-func (s *MemStore) put(rec *RunRecord) {
-	s.byID[rec.ID] = rec
-	if rec.State == StateDone && rec.SpecKey != "" {
-		s.bySpec[rec.SpecKey] = rec.ID
-	}
-}
-
-// Get implements Store.
-func (s *MemStore) Get(id string) (*RunRecord, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.byID[id]
-	if !ok {
-		return nil, false
-	}
-	return rec.clone(), true
-}
-
-// List implements Store.
-func (s *MemStore) List() []*RunRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*RunRecord, 0, len(s.byID))
-	for _, rec := range s.byID {
-		out = append(out, rec.clone())
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if !out[a].SubmittedAt.Equal(out[b].SubmittedAt) {
-			return out[a].SubmittedAt.Before(out[b].SubmittedAt)
-		}
-		return out[a].ID < out[b].ID
-	})
-	return out
-}
-
-// BySpec implements Store.
-func (s *MemStore) BySpec(key string) (*RunRecord, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id, ok := s.bySpec[key]
-	if !ok {
-		return nil, false
-	}
-	rec, ok := s.byID[id]
-	if !ok {
-		return nil, false
-	}
-	return rec.clone(), true
-}
-
-// Close implements Store.
-func (s *MemStore) Close() error { return nil }
-
-// FileStore is a JSONL-file-backed Store: every Save appends the full
-// record as one JSON line, and opening replays the log with last-write-wins
-// per ID — so finished runs survive daemon restarts and identical
-// resubmissions keep being served from disk. The log is append-only (a
-// run's lifecycle leaves one line per state transition); Compact rewrites
-// it to one line per run.
-type FileStore struct {
-	mem  *MemStore
-	mu   sync.Mutex // serializes appends
-	path string
-	f    *os.File
-	w    *bufio.Writer
-}
+// FileStore is the JSONL-file-backed Store.
+type FileStore = histdb.FileStore
 
 // OpenFileStore opens (or creates) the JSONL run log at path.
-func OpenFileStore(path string) (*FileStore, error) {
-	mem := NewMemStore()
-	if data, err := os.ReadFile(path); err == nil {
-		sc := bufio.NewScanner(bytes.NewReader(data))
-		sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
-		line := 0
-		for sc.Scan() {
-			line++
-			if len(sc.Bytes()) == 0 {
-				continue
-			}
-			var rec RunRecord
-			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-				return nil, fmt.Errorf("service: %s line %d: %w", path, line, err)
-			}
-			mem.put(&rec)
-		}
-		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("service: %s: %w", path, err)
-		}
-	} else if !os.IsNotExist(err) {
-		return nil, err
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	return &FileStore{mem: mem, path: path, f: f, w: bufio.NewWriter(f)}, nil
-}
-
-// Save implements Store: update the in-memory view, then append the line.
-func (s *FileStore) Save(rec *RunRecord) error {
-	if err := s.mem.Save(rec); err != nil {
-		return err
-	}
-	line, err := json.Marshal(rec)
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.w.Write(append(line, '\n')); err != nil {
-		return err
-	}
-	return s.w.Flush()
-}
-
-// Get implements Store.
-func (s *FileStore) Get(id string) (*RunRecord, bool) { return s.mem.Get(id) }
-
-// List implements Store.
-func (s *FileStore) List() []*RunRecord { return s.mem.List() }
-
-// BySpec implements Store.
-func (s *FileStore) BySpec(key string) (*RunRecord, bool) { return s.mem.BySpec(key) }
-
-// Close flushes and closes the log file.
-func (s *FileStore) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.w.Flush(); err != nil {
-		s.f.Close()
-		return err
-	}
-	return s.f.Close()
-}
-
-// Compact rewrites the log to its current state: one line per run.
-func (s *FileStore) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	recs := s.mem.List()
-	tmp := s.path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	w := bufio.NewWriter(f)
-	for _, rec := range recs {
-		line, err := json.Marshal(rec)
-		if err == nil {
-			_, err = w.Write(append(line, '\n'))
-		}
-		if err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return err
-		}
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := s.w.Flush(); err != nil {
-		return err
-	}
-	s.f.Close()
-	if err := os.Rename(tmp, s.path); err != nil {
-		return err
-	}
-	s.f, err = os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	s.w = bufio.NewWriter(s.f)
-	return nil
-}
+func OpenFileStore(path string) (*FileStore, error) { return histdb.OpenFileStore(path) }

@@ -79,8 +79,14 @@ func (s *alStrategy) SelectBatch(st *State) ([]cfgspace.Config, error) {
 	return st.Tracker.takeTop(n, s.model.poolScorer(st.Problem)), nil
 }
 
+// WarmStart pre-trains the surrogate on prior-run samples so SelectBatch's
+// very first refinement picks are informed by history.
+func (s *alStrategy) WarmStart(st *State) error {
+	return s.model.Train(st.Prior)
+}
+
 func (s *alStrategy) Fit(st *State, _ []Sample) (bool, error) {
-	return true, s.model.Train(st.Samples)
+	return true, s.model.Train(st.TrainingSamples())
 }
 
 // ModelRounds reports the surrogate's boosting rounds for the trace.

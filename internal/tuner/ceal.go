@@ -64,7 +64,9 @@ func (*CEAL) Name() string { return "CEAL" }
 // it corresponds to Algorithm 1's i = it+1 and the engine runs I-1
 // refinement iterations.
 func (c *CEAL) Tune(p *Problem, budget int) (*Result, error) {
-	useHistory := p.hasHistory()
+	// Warm component coverage counts like full histories: Phase-1 models
+	// train on prior standalone runs, so no fresh mR is charged.
+	useHistory := p.hasHistory() || p.warmCoversComponents()
 	opts := DefaultCEALOptions(useHistory)
 	if c.Opts != nil {
 		opts = *c.Opts
@@ -98,6 +100,10 @@ type cealStrategy struct {
 	m0     int
 	m0used int
 	mB     int
+
+	// warmed records that M_H was pre-trained on prior-run samples, which
+	// makes it a usable seed-batch ranker before any fresh measurement.
+	warmed bool
 
 	usingHigh bool
 	// holdout accumulates samples the current M_H has NOT been trained on;
@@ -155,7 +161,26 @@ func (s *cealStrategy) SeedBatch(st *State) ([]cfgspace.Config, error) {
 		s.mB = 1
 	}
 	room := capBatch(s.mB, st.Budget, len(pending), 0)
-	return append(pending, st.Tracker.takeTop(room, st.Problem.lowFiScorer(s.lowFi))...), nil // lines 9–10
+	scorer := st.Problem.lowFiScorer(s.lowFi)
+	if s.warmed {
+		// Warm start: the seed batch's top picks already come from the
+		// prior-trained high-fidelity surrogate instead of the white-box
+		// model — this is where transfer learning pays for itself, by
+		// spending the very first measurements near prior optima. The
+		// switch detector still arbitrates between the models afterwards.
+		scorer = s.high.poolScorer(st.Problem)
+	}
+	return append(pending, st.Tracker.takeTop(room, scorer)...), nil // lines 9–10
+}
+
+// WarmStart pre-trains the high-fidelity surrogate on prior-run workflow
+// samples (st.Prior), set up by the Loop before seeding.
+func (s *cealStrategy) WarmStart(st *State) error {
+	if err := s.high.Train(st.Prior); err != nil {
+		return err
+	}
+	s.warmed = true
+	return nil
 }
 
 // AfterMeasure is Algorithm 1's lines 16–24, run right after each batch is
@@ -233,7 +258,7 @@ func (s *cealStrategy) SelectBatch(st *State) ([]cfgspace.Config, error) {
 }
 
 func (s *cealStrategy) Fit(st *State, _ []Sample) (bool, error) {
-	return true, s.high.Train(st.Samples) // line 25
+	return true, s.high.Train(st.TrainingSamples()) // line 25
 }
 
 // ModelRounds reports the high-fidelity surrogate's boosting rounds.

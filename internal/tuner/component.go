@@ -53,6 +53,9 @@ func trainComponentModels(p *Problem, mR int, rng *rand.Rand) (*componentModels,
 		if len(p.History) == len(p.Components) {
 			samples = append(samples, p.History[j]...)
 		}
+		if warm := p.warmComponent(j); len(warm) > 0 {
+			samples = append(samples, warm...)
+		}
 		if mR > 0 {
 			cfgs := sampleComponentConfigs(p, j, comp.Space, mR, rng)
 			batch, err := p.Collector().MeasureComponents(p.context(), j, cfgs)

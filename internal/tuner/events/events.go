@@ -26,6 +26,7 @@ type Kind string
 // The event taxonomy, in the order a run emits them.
 const (
 	KindRunStarted     Kind = "run_started"
+	KindWarmStarted    Kind = "warm_started"
 	KindBatchSelected  Kind = "batch_selected"
 	KindBatchMeasured  Kind = "batch_measured"
 	KindModelTrained   Kind = "model_trained"
@@ -50,6 +51,23 @@ type RunStarted struct {
 	Budget    int    `json:"budget"`
 	PoolSize  int    `json:"pool_size"`
 	Seed      uint64 `json:"seed"`
+}
+
+// WarmStarted reports that the run was seeded with transfer-learning data
+// from the tuning-history database before its first measurement: prior
+// workflow samples of the same spec family and/or standalone component
+// samples from runs sharing a component application.
+type WarmStarted struct {
+	// WorkflowSamples is how many prior workflow measurements seeded the
+	// high-fidelity surrogate (0 = component transfer only).
+	WorkflowSamples int `json:"workflow_samples"`
+	// ComponentSamples is the total prior standalone component measurements
+	// feeding the Phase-1 component models.
+	ComponentSamples int `json:"component_samples"`
+	// SurrogateSeeded reports whether the algorithm actually pre-trained
+	// its surrogate on the workflow samples (strategies without warm-start
+	// support still consume component samples but leave this false).
+	SurrogateSeeded bool `json:"surrogate_seeded"`
 }
 
 // BatchSelected announces the configurations chosen for the next
@@ -146,6 +164,7 @@ type RunFinished struct {
 }
 
 func (*RunStarted) Kind() Kind     { return KindRunStarted }
+func (*WarmStarted) Kind() Kind    { return KindWarmStarted }
 func (*BatchSelected) Kind() Kind  { return KindBatchSelected }
 func (*BatchMeasured) Kind() Kind  { return KindBatchMeasured }
 func (*ModelTrained) Kind() Kind   { return KindModelTrained }

@@ -53,6 +53,10 @@ type State struct {
 	// SwitchIter records a Controller's model-switch iteration
 	// (strategy-writable; -1 = never switched).
 	SwitchIter int
+	// Prior holds warm-start workflow samples from prior runs (empty on
+	// cold runs). It is set by the Loop before invoking a WarmStarter;
+	// strategies consume it through TrainingSamples and must not mutate it.
+	Prior []Sample
 
 	obs      events.Observer
 	bestVal  float64
@@ -191,6 +195,34 @@ func (l *Loop) Run(p *Problem, budget int) (*Result, error) {
 				Samples:    st.compRuns,
 				DurationNS: time.Since(start).Nanoseconds(),
 				Rounds:     p.surrogateParams().Rounds,
+			})
+		}
+	}
+
+	// Warm start (optional): seed the surrogate from prior-run samples
+	// before the first measurement. Component-level warm data was already
+	// consumed inside Bootstrap (trainComponentModels); here the workflow
+	// samples reach the Modeler through the WarmStarter hook.
+	if w := p.Warm; !w.Empty() {
+		seeded := false
+		if len(w.Samples) > 0 {
+			if ws, ok := l.Modeler.(WarmStarter); ok {
+				st.Prior = w.Samples
+				if err := ws.WarmStart(st); err != nil {
+					return nil, err
+				}
+				seeded = true
+			}
+		}
+		if st.obs != nil {
+			comp := 0
+			for _, cs := range w.ComponentSamples {
+				comp += len(cs)
+			}
+			st.Emit(&events.WarmStarted{
+				WorkflowSamples:  len(w.Samples),
+				ComponentSamples: comp,
+				SurrogateSeeded:  seeded,
 			})
 		}
 	}

@@ -104,6 +104,13 @@ type Problem struct {
 	// dispatched under this context, so cancelling it aborts the run
 	// promptly with Ctx.Err(). nil means context.Background().
 	Ctx context.Context
+	// Warm optionally carries prior-run measurements (see WarmStart):
+	// workflow samples seed the Phase-2 surrogate via the WarmStarter
+	// strategy hook, component samples join Phase-1 training data. nil (the
+	// default) is the cold path, byte-identical to builds without warm
+	// support. Warm data is an input like History: two runs with identical
+	// specs and identical warm data produce identical results.
+	Warm *WarmStart
 	// Seed drives all of the algorithm's random choices.
 	Seed uint64
 	// Observer optionally receives the structured run-event trace (see
