@@ -1,0 +1,92 @@
+package forest
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"ceal/internal/score"
+)
+
+// lowCardForestData builds a regression set whose feature columns all
+// have few distinct values (small integer grids), so quantization is
+// lossless and the binned forest must equal the exact one bitwise.
+func lowCardForestData(seed uint64, n, dim int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewPCG(seed, 5))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = make([]float64, dim)
+		for f := range X[i] {
+			X[i][f] = float64(rng.IntN(3 + f*4))
+		}
+		y[i] = X[i][0] + 0.5*X[i][1] + rng.NormFloat64()*0.2
+	}
+	return X, y
+}
+
+// TestFitBinnedMatchesExactLossless: on low-cardinality data the
+// histogram-binned forest must reproduce the pre-sorted exact forest
+// bitwise — same bootstrap streams, same trees, same mean and spread.
+func TestFitBinnedMatchesExactLossless(t *testing.T) {
+	X, y := lowCardForestData(2, 90, 5)
+	p := Params{Trees: 30, MaxDepth: 5, ColSample: 0.8, Seed: 9}
+	exact, err := Fit(X, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Binned = true
+	binned, err := Fit(X, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes, _ := lowCardForestData(3, 40, 5)
+	for i, x := range probes {
+		wm, ws := exact.PredictWithStd(x)
+		gm, gs := binned.PredictWithStd(x)
+		if math.Float64bits(wm) != math.Float64bits(gm) || math.Float64bits(ws) != math.Float64bits(gs) {
+			t.Fatalf("probe %d: binned (%v, %v), exact (%v, %v)", i, gm, gs, wm, ws)
+		}
+	}
+}
+
+// TestFitBinnedDeterministicAcrossWorkerCounts mirrors the pre-sorted
+// worker-determinism test for the binned kernel on continuous (lossy)
+// data.
+func TestFitBinnedDeterministicAcrossWorkerCounts(t *testing.T) {
+	X, y := forestData(2, 80, 5)
+	p := Params{Trees: 30, MaxDepth: 5, ColSample: 0.8, Seed: 9, Binned: true}
+	serial, err := Fit(X, y, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes, _ := forestData(3, 40, 5)
+	for _, w := range []int{1, 2, 4, 8} {
+		f, err := FitOn(score.New(w), X, y, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range probes {
+			wm, ws := serial.PredictWithStd(x)
+			gm, gs := f.PredictWithStd(x)
+			if math.Float64bits(wm) != math.Float64bits(gm) || math.Float64bits(ws) != math.Float64bits(gs) {
+				t.Fatalf("workers=%d probe %d: (%v, %v), want (%v, %v)", w, i, gm, gs, wm, ws)
+			}
+		}
+	}
+}
+
+// TestFitBinnedMaxBinsValidation pins the forest-side MaxBins contract.
+func TestFitBinnedMaxBinsValidation(t *testing.T) {
+	X, y := lowCardForestData(1, 20, 3)
+	for _, bad := range []int{-3, 1, 257} {
+		p := Params{Trees: 2, MaxDepth: 2, Binned: true, MaxBins: bad}
+		if _, err := Fit(X, y, p); err == nil {
+			t.Fatalf("MaxBins=%d: expected error", bad)
+		}
+	}
+	p := Params{Trees: 2, MaxDepth: 2, Binned: true, MaxBins: 8}
+	if _, err := Fit(X, y, p); err != nil {
+		t.Fatalf("MaxBins=8: unexpected error %v", err)
+	}
+}

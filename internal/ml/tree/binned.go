@@ -1,0 +1,530 @@
+package tree
+
+import (
+	"sort"
+
+	"ceal/internal/score"
+)
+
+// This file is the histogram-binned counterpart of presort.go: LightGBM-
+// style training over a quantized feature matrix. Each feature column is
+// quantized once per fit into at most MaxBins bins (uint8 codes); a node
+// then accumulates one (gradient, hessian, count) histogram per column
+// and enumerates candidate splits over bin boundaries instead of rows,
+// and each split's larger child inherits its histogram by subtraction
+// (parent − smaller sibling) so only the smaller side is ever scanned.
+//
+// Equivalence contract with the exact-greedy reference (tree.Grow):
+// whenever a column's distinct values all receive their own bin (which
+// BinnedMatrix guarantees when the column has at most maxBins distinct
+// values), the binned candidate set, thresholds, partitions and leaf
+// values are exactly the reference's — bin boundaries sit between
+// adjacent distinct values, thresholds are the same (lo+hi)/2 midpoints
+// computed from the same floats, partitions use the same X[r][f] < thr
+// comparison, and per-node g/h totals fold over rows in the same caller
+// order. Candidate *gains* are the one quantity that may differ in final
+// ulps: the cumulative left-side sums fold per-bin subtotals (and, for
+// subtraction-derived histograms, parent-minus-sibling differences)
+// rather than individual rows — a different deterministic association of
+// the same addends. That noise cannot pick a different split: candidate
+// selection in every kernel uses the shared gainBeats margin, so exact-
+// arithmetic gain ties (e.g. two columns inducing the same or mirrored
+// partition) resolve to the first candidate in (column order, value
+// order) everywhere, and any gain difference large enough to clear the
+// margin dwarfs the ulp noise. The grown trees therefore match the
+// reference bit for bit: structure, thresholds, leaf values and
+// predictions — which the oracle-equivalence battery pins across
+// randomized datasets. Columns with more distinct values than bins are
+// grouped by quantile; splits then enumerate a subset of the reference's
+// candidates and the trainer becomes the usual histogram approximation,
+// pinned by validation-RMSE tolerance instead.
+//
+// Determinism contract: identical to the pre-sorted kernel. Histogram
+// accumulation, subtraction and candidate scans fan across feature
+// columns with each column writing only its own slots, the cross-column
+// reduce is serial in cols order, and the single row partition runs
+// serially — so the grown tree is bitwise identical at any worker count.
+
+// MaxBins is the hard cap on bins per feature: codes must fit a uint8.
+const MaxBins = 256
+
+// BinnedMatrix holds one training matrix quantized for histogram
+// training. Build it once per fit (X is static across every round and
+// node) and grow every tree of the ensemble from it; the matrix is
+// immutable after construction and safe for concurrent Growers.
+type BinnedMatrix struct {
+	X      [][]float64
+	n, dim int
+	maxNB  int         // widest per-feature bin count (histogram stride)
+	nb     []int       // per feature: number of bins
+	codes  []uint8     // column-major: codes[f*n+i] is row i's bin in feature f
+	binLo  [][]float64 // per feature: smallest value in each bin
+	binHi  [][]float64 // per feature: largest value in each bin
+	exact  []bool      // per feature: every distinct value has its own bin
+}
+
+// NewBinnedMatrix quantizes every feature column of X to at most maxBins
+// bins (clamped to [2, MaxBins]; 0 means MaxBins), fanning per-column
+// quantization across the engine (nil engine: serial). Columns with at
+// most maxBins distinct values get one bin per distinct value — the
+// lossless case the oracle-equivalence guarantee rests on; wider columns
+// group adjacent values into near-equal-count quantile bins. X must not
+// be mutated for the matrix's lifetime and must not contain NaNs.
+func NewBinnedMatrix(e *score.Engine, X [][]float64, maxBins int) *BinnedMatrix {
+	if maxBins <= 0 || maxBins > MaxBins {
+		maxBins = MaxBins
+	}
+	if maxBins < 2 {
+		maxBins = 2
+	}
+	bm := &BinnedMatrix{X: X, n: len(X)}
+	if bm.n == 0 {
+		return bm
+	}
+	bm.dim = len(X[0])
+	bm.nb = make([]int, bm.dim)
+	bm.codes = make([]uint8, bm.dim*bm.n)
+	bm.binLo = make([][]float64, bm.dim)
+	bm.binHi = make([][]float64, bm.dim)
+	bm.exact = make([]bool, bm.dim)
+	e.Tasks(bm.dim, func(f int) {
+		col := make([]float64, bm.n)
+		for i, row := range X {
+			col[i] = row[f]
+		}
+		q := quantizeColumn(col, maxBins, bm.codes[f*bm.n:(f+1)*bm.n])
+		bm.nb[f] = q.nb
+		bm.binLo[f] = q.lo
+		bm.binHi[f] = q.hi
+		bm.exact[f] = q.exact
+	})
+	for _, nb := range bm.nb {
+		if nb > bm.maxNB {
+			bm.maxNB = nb
+		}
+	}
+	return bm
+}
+
+// Lossless reports whether every column's distinct values got their own
+// bin — the regime where binned growth reproduces the exact-greedy
+// reference bit for bit.
+func (bm *BinnedMatrix) Lossless() bool {
+	for _, e := range bm.exact {
+		if !e {
+			return false
+		}
+	}
+	return true
+}
+
+// Bins returns the bin count of feature f.
+func (bm *BinnedMatrix) Bins(f int) int { return bm.nb[f] }
+
+// quantized is one column's binning.
+type quantized struct {
+	nb     int
+	lo, hi []float64 // per-bin value bounds (lo == hi for singleton bins)
+	exact  bool      // one bin per distinct value
+}
+
+// quantizeColumn bins one feature column into at most maxBins bins,
+// writing each row's bin into codesOut (len = len(col)). Bins are chosen
+// on distinct values: every distinct value gets its own bin when they
+// fit, otherwise adjacent values are grouped so bins hold near-equal row
+// counts (quantile cuts) without ever splitting one value across bins.
+func quantizeColumn(col []float64, maxBins int, codesOut []uint8) quantized {
+	n := len(col)
+	if n == 0 {
+		return quantized{nb: 0, exact: true}
+	}
+	sorted := make([]float64, n)
+	copy(sorted, col)
+	sort.Float64s(sorted)
+
+	// Distinct values with multiplicities, in value order.
+	ds := sorted[:0:0]
+	starts := make([]int, 0, 16) // cumulative row count before each group
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && sorted[j] == sorted[i] {
+			j++
+		}
+		ds = append(ds, sorted[i])
+		starts = append(starts, i)
+		i = j
+	}
+	d := len(ds)
+
+	// Group → bin assignment.
+	binOf := make([]int, d)
+	exact := d <= maxBins
+	if exact {
+		for j := range binOf {
+			binOf[j] = j
+		}
+	} else {
+		// Quantile grouping: a group starting at cumulative row position s
+		// lands in bin s*maxBins/n (monotone in s, never splits a group),
+		// then bins are renumbered consecutively to drop empty ones.
+		prevRaw, next := -1, -1
+		for j := 0; j < d; j++ {
+			raw := starts[j] * maxBins / n
+			if raw != prevRaw {
+				prevRaw = raw
+				next++
+			}
+			binOf[j] = next
+		}
+	}
+	nb := binOf[d-1] + 1
+
+	lo := make([]float64, nb)
+	hi := make([]float64, nb)
+	for j := 0; j < d; j++ {
+		b := binOf[j]
+		if j == 0 || binOf[j-1] != b {
+			lo[b] = ds[j]
+		}
+		hi[b] = ds[j]
+	}
+	for i, v := range col {
+		// Exact match is guaranteed for the column's own (NaN-free)
+		// values; the clamp keeps degenerate inputs deterministic.
+		j := sort.SearchFloat64s(ds, v)
+		if j >= d || ds[j] != v {
+			j = d - 1
+		}
+		codesOut[i] = uint8(binOf[j])
+	}
+	return quantized{nb: nb, lo: lo, hi: hi, exact: exact}
+}
+
+// Hist is a read-only per-bin view of one feature column's gradient
+// statistics at a node, exposed to the histogram probe.
+type Hist struct {
+	G, H  []float64
+	Count []int32
+}
+
+// binHist holds one node's histograms for the fit's selected columns,
+// flattened with stride = the matrix's widest bin count.
+type binHist struct {
+	gs, hs []float64
+	cnt    []int32
+}
+
+func (h *binHist) reserve(need int) {
+	if cap(h.gs) < need {
+		h.gs = make([]float64, need)
+		h.hs = make([]float64, need)
+		h.cnt = make([]int32, need)
+	} else {
+		h.gs = h.gs[:need]
+		h.hs = h.hs[:need]
+		h.cnt = h.cnt[:need]
+	}
+}
+
+// BinnedGrower grows trees from a BinnedMatrix, reusing all per-fit
+// scratch (histogram stacks, partition buffers) across calls. Like the
+// pre-sorted Grower it is not safe for concurrent use: create one per
+// worker or reuse one across boosting rounds.
+type BinnedGrower struct {
+	bm  *BinnedMatrix
+	eng *score.Engine // fans per-column histogram work; nil = serial
+
+	rowsOrd []int32 // the node's rows in caller order (stable partition)
+	rowsAux []int32
+
+	rootHist binHist
+	levels   [][2]binHist // per depth: the two child histograms
+
+	colGain  []float64 // per selected column: best candidate gain
+	colThr   []float64 // per selected column: best candidate threshold
+	colFound []bool
+
+	probe func(feature int, parent, left, right Hist)
+}
+
+// Grower returns a histogram tree grower over the matrix. e controls
+// per-column fan-out of histogram accumulation and split scans (nil:
+// serial) — pass nil when tree fits are already fanned across ensemble
+// members to avoid nested parallelism.
+func (bm *BinnedMatrix) Grower(e *score.Engine) *BinnedGrower {
+	return &BinnedGrower{bm: bm, eng: e}
+}
+
+// SetHistProbe installs a test hook invoked once per split node and
+// selected column with the node's histogram and both children's (the
+// smaller child accumulated directly, the larger derived by
+// subtraction). The views alias grower scratch — copy, don't retain.
+func (gw *BinnedGrower) SetHistProbe(fn func(feature int, parent, left, right Hist)) {
+	gw.probe = fn
+}
+
+// Grow builds a tree over rows (indices into the matrix's X, duplicates
+// allowed) considering only the given feature columns — the same
+// contract as the pre-sorted Grower.Grow, including leafOut.
+func (gw *BinnedGrower) Grow(g, h []float64, rows []int, cols []int, opt Options, leafOut []float64) *Tree {
+	if opt.MinChildWeight <= 0 {
+		opt.MinChildWeight = 1e-12
+	}
+	m := len(rows)
+	gw.reserve(m, len(cols), opt.MaxDepth)
+	for i, r := range rows {
+		gw.rowsOrd[i] = int32(r)
+	}
+	t := &binTask{gw: gw, g: g, h: h, cols: cols, opt: opt, leafOut: leafOut}
+	var root *binHist
+	if opt.MaxDepth > 0 && m >= 2 {
+		t.accumulate(&gw.rootHist, 0, m)
+		root = &gw.rootHist
+	}
+	return &Tree{root: t.grow(0, m, 0, root)}
+}
+
+// reserve sizes the scratch for a tree over m rows, nc columns and the
+// given depth cap.
+func (gw *BinnedGrower) reserve(m, nc, maxDepth int) {
+	if cap(gw.rowsOrd) < m {
+		gw.rowsOrd = make([]int32, m)
+		gw.rowsAux = make([]int32, m)
+	} else {
+		gw.rowsOrd = gw.rowsOrd[:m]
+		gw.rowsAux = gw.rowsAux[:m]
+	}
+	need := nc * gw.bm.maxNB
+	gw.rootHist.reserve(need)
+	if len(gw.levels) < maxDepth {
+		gw.levels = append(gw.levels, make([][2]binHist, maxDepth-len(gw.levels))...)
+	}
+	for d := range gw.levels[:maxDepth] {
+		gw.levels[d][0].reserve(need)
+		gw.levels[d][1].reserve(need)
+	}
+	if cap(gw.colGain) < nc {
+		gw.colGain = make([]float64, nc)
+		gw.colThr = make([]float64, nc)
+		gw.colFound = make([]bool, nc)
+	} else {
+		gw.colGain = gw.colGain[:nc]
+		gw.colThr = gw.colThr[:nc]
+		gw.colFound = gw.colFound[:nc]
+	}
+}
+
+// binTask is one Grow call's recursion state.
+type binTask struct {
+	gw      *BinnedGrower
+	g, h    []float64
+	cols    []int
+	opt     Options
+	leafOut []float64
+}
+
+// fan reports whether per-column work over span rows is worth fanning
+// out — the same work gate as the pre-sorted kernel; results are
+// bitwise identical either way.
+func (t *binTask) fan(span int) bool {
+	return t.gw.eng != nil && span*len(t.cols) >= minSplitFanWork
+}
+
+// accumulate builds the histogram of rowsOrd[lo:hi] directly, one
+// column at a time (fanned when the node is large enough).
+func (t *binTask) accumulate(hist *binHist, lo, hi int) {
+	gw := t.gw
+	body := func(ci int) {
+		t.accumulateCol(hist, ci, lo, hi)
+	}
+	if t.fan(hi - lo) {
+		gw.eng.Tasks(len(t.cols), body)
+	} else {
+		for ci := range t.cols {
+			body(ci)
+		}
+	}
+}
+
+// accumulateCol zeroes and fills one column's histogram slots from the
+// node's rows. Rows are visited in partition (caller) order, so the
+// per-bin sums are deterministic and independent of worker count.
+func (t *binTask) accumulateCol(hist *binHist, ci, lo, hi int) {
+	gw := t.gw
+	bm := gw.bm
+	f := t.cols[ci]
+	off := ci * bm.maxNB
+	nb := bm.nb[f]
+	gs := hist.gs[off : off+nb]
+	hs := hist.hs[off : off+nb]
+	cnt := hist.cnt[off : off+nb]
+	clear(gs)
+	clear(hs)
+	clear(cnt)
+	codes := bm.codes[f*bm.n : (f+1)*bm.n]
+	for _, r := range gw.rowsOrd[lo:hi] {
+		b := codes[r]
+		gs[b] += t.g[r]
+		hs[b] += t.h[r]
+		cnt[b]++
+	}
+}
+
+// grow builds the node over segment [lo, hi) of rowsOrd. hist is the
+// node's histogram, nil exactly when the node is forced to be a leaf.
+func (t *binTask) grow(lo, hi, depth int, hist *binHist) *node {
+	gw, opt := t.gw, t.opt
+	bm := gw.bm
+	var gSum, hSum float64
+	for _, r := range gw.rowsOrd[lo:hi] {
+		gSum += t.g[r]
+		hSum += t.h[r]
+	}
+	leafValue := -gSum / (hSum + opt.Lambda)
+	makeLeaf := func() *node {
+		if t.leafOut != nil {
+			for _, r := range gw.rowsOrd[lo:hi] {
+				t.leafOut[r] = leafValue
+			}
+		}
+		return &node{leaf: true, value: leafValue}
+	}
+	if depth >= opt.MaxDepth || hi-lo < 2 || hist == nil {
+		return makeLeaf()
+	}
+
+	// Split enumeration over bins: each column scans its own histogram
+	// and records its best candidate in its own slot; the reduce below is
+	// serial in cols order, exactly like the pre-sorted kernel.
+	parentScore := gSum * gSum / (hSum + opt.Lambda)
+	scan := func(ci int) {
+		f := t.cols[ci]
+		off := ci * bm.maxNB
+		nb := bm.nb[f]
+		gs := hist.gs[off : off+nb]
+		hs := hist.hs[off : off+nb]
+		cnt := hist.cnt[off : off+nb]
+		binLo, binHi := bm.binLo[f], bm.binHi[f]
+		best, thr, found := opt.Gamma, 0.0, false
+		var gl, hl float64
+		prev := -1 // last bin with rows in this node
+		for b := 0; b < nb; b++ {
+			if cnt[b] == 0 {
+				continue
+			}
+			if prev >= 0 {
+				// Candidate between the node's adjacent occupied bins —
+				// the same boundaries (and, for singleton bins, the same
+				// midpoint floats) the reference enumerates between
+				// adjacent distinct values.
+				gr, hr := gSum-gl, hSum-hl
+				if hl >= opt.MinChildWeight && hr >= opt.MinChildWeight {
+					gain := gl*gl/(hl+opt.Lambda) + gr*gr/(hr+opt.Lambda) - parentScore
+					if gainBeats(gain, best, parentScore) {
+						best, thr, found = gain, (binHi[prev]+binLo[b])/2, true
+					}
+				}
+			}
+			gl += gs[b]
+			hl += hs[b]
+			prev = b
+		}
+		gw.colGain[ci], gw.colThr[ci], gw.colFound[ci] = best, thr, found
+	}
+	if t.fan(hi - lo) {
+		gw.eng.Tasks(len(t.cols), scan)
+	} else {
+		for ci := range t.cols {
+			scan(ci)
+		}
+	}
+	bestGain := opt.Gamma
+	bestCI := -1
+	for ci := range t.cols {
+		if gw.colFound[ci] && gainBeats(gw.colGain[ci], bestGain, parentScore) {
+			bestGain, bestCI = gw.colGain[ci], ci
+		}
+	}
+	if bestCI < 0 {
+		return makeLeaf()
+	}
+	bestFeature, bestThreshold := t.cols[bestCI], gw.colThr[bestCI]
+
+	// Stable partition of the single row array, using the reference's own
+	// X[r][f] < thr comparison so even degenerate midpoints (thresholds
+	// that round onto a bin value) partition exactly as the oracle does.
+	Xf := bm.X
+	nl := 0
+	src := gw.rowsOrd[lo:hi]
+	aux := gw.rowsAux[:hi-lo]
+	for _, r := range src {
+		if Xf[r][bestFeature] < bestThreshold {
+			nl++
+		}
+	}
+	if nl == 0 || nl == hi-lo {
+		return makeLeaf()
+	}
+	a, b := 0, nl
+	for _, r := range src {
+		if Xf[r][bestFeature] < bestThreshold {
+			aux[a] = r
+			a++
+		} else {
+			aux[b] = r
+			b++
+		}
+	}
+	copy(src, aux)
+
+	// Children histograms: accumulate only the smaller child, derive the
+	// larger by bin-wise subtraction from this node's histogram. Skipped
+	// entirely when both children will be leaves anyway.
+	var leftHist, rightHist *binHist
+	if depth+1 < opt.MaxDepth {
+		nr := hi - lo - nl
+		small, large := &gw.levels[depth][0], &gw.levels[depth][1]
+		smallLo, smallHi := lo, lo+nl
+		if nl <= nr {
+			leftHist, rightHist = small, large
+		} else {
+			leftHist, rightHist = large, small
+			smallLo, smallHi = lo+nl, hi
+		}
+		sub := func(ci int) {
+			t.accumulateCol(small, ci, smallLo, smallHi)
+			f := t.cols[ci]
+			off := ci * bm.maxNB
+			nb := bm.nb[f]
+			for j := off; j < off+nb; j++ {
+				large.gs[j] = hist.gs[j] - small.gs[j]
+				large.hs[j] = hist.hs[j] - small.hs[j]
+				large.cnt[j] = hist.cnt[j] - small.cnt[j]
+			}
+		}
+		if t.fan(smallHi - smallLo) {
+			gw.eng.Tasks(len(t.cols), sub)
+		} else {
+			for ci := range t.cols {
+				sub(ci)
+			}
+		}
+		if gw.probe != nil {
+			for ci, f := range t.cols {
+				off := ci * bm.maxNB
+				nb := bm.nb[f]
+				view := func(h *binHist) Hist {
+					return Hist{G: h.gs[off : off+nb], H: h.hs[off : off+nb], Count: h.cnt[off : off+nb]}
+				}
+				gw.probe(f, view(hist), view(leftHist), view(rightHist))
+			}
+		}
+	}
+	return &node{
+		feature:   bestFeature,
+		threshold: bestThreshold,
+		gain:      bestGain,
+		left:      t.grow(lo, lo+nl, depth+1, leftHist),
+		right:     t.grow(lo+nl, hi, depth+1, rightHist),
+	}
+}

@@ -1,0 +1,427 @@
+package tree
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"ceal/internal/score"
+)
+
+// lowCardMatrix builds an n×dim matrix every column of which has at most
+// maxDistinct distinct values — the regime where quantization is lossless
+// and binned growth must reproduce the exact-greedy reference bitwise.
+// Columns mix constants, binary flags, small integer grids and larger
+// random-level alphabets.
+func lowCardMatrix(rng *rand.Rand, n, dim, maxDistinct int) [][]float64 {
+	levels := make([][]float64, dim)
+	for f := range levels {
+		var k int
+		switch f % 4 {
+		case 0:
+			k = 1 + rng.IntN(3) // constant-ish
+		case 1:
+			k = 2
+		case 2:
+			k = 2 + rng.IntN(14)
+		default:
+			k = 2 + rng.IntN(maxDistinct-1)
+		}
+		lv := make([]float64, k)
+		for j := range lv {
+			lv[j] = rng.NormFloat64() * 10
+		}
+		levels[f] = lv
+	}
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = make([]float64, dim)
+		for f := 0; f < dim; f++ {
+			X[i][f] = levels[f][rng.IntN(len(levels[f]))]
+		}
+	}
+	return X
+}
+
+// flatTree renders a tree as its complete-binary-tree arrays — split
+// features, thresholds and leaf values in heap order — so two trees can
+// be compared structurally, bit for bit.
+func flatTree(t *Tree) (feats []int32, thresh, leaves []float64) {
+	d := t.Depth()
+	if d == 0 {
+		d = 1
+	}
+	feats = make([]int32, 1<<d-1)
+	thresh = make([]float64, 1<<d-1)
+	leaves = make([]float64, 1<<d)
+	t.FillComplete(d, 1, feats, thresh, leaves)
+	return feats, thresh, leaves
+}
+
+// sameTreeBinned asserts the binned tree reproduces the reference
+// bitwise in everything prediction-relevant — shape, split features,
+// thresholds, leaf values, and predictions on every probe — while split
+// *gains* (whose left-side sums fold per-bin subtotals rather than
+// individual rows) only need to agree within last-ulp noise.
+func sameTreeBinned(t *testing.T, want, got *Tree, probes [][]float64, dim int) {
+	t.Helper()
+	if want.Depth() != got.Depth() || want.Leaves() != got.Leaves() {
+		t.Fatalf("shape mismatch: depth %d vs %d, leaves %d vs %d",
+			want.Depth(), got.Depth(), want.Leaves(), got.Leaves())
+	}
+	wf, wt, wl := flatTree(want)
+	gf, gt, gl := flatTree(got)
+	for j := range wf {
+		if wf[j] != gf[j] {
+			t.Fatalf("node %d: split feature %d, want %d", j, gf[j], wf[j])
+		}
+		if math.Float64bits(wt[j]) != math.Float64bits(gt[j]) {
+			t.Fatalf("node %d: threshold %v, want %v", j, gt[j], wt[j])
+		}
+	}
+	for j := range wl {
+		if math.Float64bits(wl[j]) != math.Float64bits(gl[j]) {
+			t.Fatalf("leaf %d: value %v, want %v", j, gl[j], wl[j])
+		}
+	}
+	for i, x := range probes {
+		w, g := want.Predict(x), got.Predict(x)
+		if math.Float64bits(w) != math.Float64bits(g) {
+			t.Fatalf("probe %d: reference %v, binned %v", i, w, g)
+		}
+	}
+	wg := make([]float64, dim)
+	gg := make([]float64, dim)
+	want.AccumulateGains(wg)
+	got.AccumulateGains(gg)
+	for f := range wg {
+		if diff := math.Abs(wg[f] - gg[f]); diff > 1e-9*(1+math.Abs(wg[f])) {
+			t.Fatalf("feature %d gain: reference %v, binned %v", f, wg[f], gg[f])
+		}
+	}
+}
+
+// TestBinnedGrowerMatchesReferenceLossless is the oracle-equivalence
+// property test: on randomized datasets where every column has at most
+// MaxBins distinct values, the histogram-binned trainer must reproduce
+// the exact-greedy reference bit for bit — across tie-heavy and constant
+// columns, shuffled/subsampled/bootstrap row sets, column subsets, and
+// randomized growth options.
+func TestBinnedGrowerMatchesReferenceLossless(t *testing.T) {
+	rng := rand.New(rand.NewPCG(101, 103))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.IntN(300)
+		dim := 1 + rng.IntN(8)
+		X := lowCardMatrix(rng, n, dim, MaxBins)
+		g := make([]float64, n)
+		h := make([]float64, n)
+		for i := range g {
+			g[i] = rng.NormFloat64()
+			h[i] = 1
+		}
+
+		var rows []int
+		switch trial % 3 {
+		case 0:
+			rows = make([]int, n)
+			for i := range rows {
+				rows[i] = i
+			}
+		case 1:
+			perm := rng.Perm(n)
+			rows = perm[:1+rng.IntN(n)]
+		default:
+			rows = make([]int, n)
+			for i := range rows {
+				rows[i] = rng.IntN(n)
+			}
+		}
+		cols := rng.Perm(dim)[:1+rng.IntN(dim)]
+		opt := Options{MaxDepth: 1 + rng.IntN(5), MinChildWeight: float64(rng.IntN(2)), Lambda: rng.Float64(), Gamma: rng.Float64() * 0.1}
+
+		ref := Grow(X, g, h, rows, cols, opt)
+		bm := NewBinnedMatrix(nil, X, 0)
+		if !bm.Lossless() {
+			t.Fatalf("trial %d: low-cardinality matrix quantized lossily", trial)
+		}
+		leaf := make([]float64, n)
+		got := bm.Grower(nil).Grow(g, h, rows, cols, opt, leaf)
+
+		probes := make([][]float64, 0, n+20)
+		probes = append(probes, X...)
+		for p := 0; p < 20; p++ {
+			probes = append(probes, randomMatrix(rng, 1, dim)[0])
+		}
+		sameTreeBinned(t, ref, got, probes, dim)
+
+		for _, r := range rows {
+			if w := got.Predict(X[r]); math.Float64bits(leaf[r]) != math.Float64bits(w) {
+				t.Fatalf("trial %d: leafOut[%d] = %v, Predict = %v", trial, r, leaf[r], w)
+			}
+		}
+	}
+}
+
+// TestBinnedGrowerReusedAcrossCalls: a single grower must produce the
+// same trees as fresh growers when reused round-after-round (the boosting
+// pattern), i.e. scratch reuse must not leak state between calls.
+func TestBinnedGrowerReusedAcrossCalls(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 9))
+	n, dim := 120, 5
+	X := lowCardMatrix(rng, n, dim, 40)
+	bm := NewBinnedMatrix(nil, X, 0)
+	shared := bm.Grower(nil)
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	cols := []int{0, 1, 2, 3, 4}
+	for round := 0; round < 10; round++ {
+		g := make([]float64, n)
+		h := make([]float64, n)
+		for i := range g {
+			g[i] = rng.NormFloat64()
+			h[i] = 1
+		}
+		opt := Options{MaxDepth: 1 + round%4, MinChildWeight: 1, Lambda: 1}
+		want := bm.Grower(nil).Grow(g, h, rows, cols, opt, nil)
+		got := shared.Grow(g, h, rows, cols, opt, nil)
+		sameTreeBinned(t, want, got, X, dim)
+	}
+}
+
+// TestBinnedEngineWidthInvariance: binned trees must be bitwise identical
+// whether histogram accumulation and split scans run serially or fan
+// across any number of workers — on both lossless and quantile-grouped
+// (continuous) matrices.
+func TestBinnedEngineWidthInvariance(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 19))
+	n, dim := 1500, 6
+	for name, X := range map[string][][]float64{
+		"lossless":   lowCardMatrix(rng, n, dim, 200),
+		"continuous": randomMatrix(rng, n, dim),
+	} {
+		g := make([]float64, n)
+		h := make([]float64, n)
+		for i := range g {
+			g[i] = rng.NormFloat64()
+			h[i] = 1
+		}
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+		cols := []int{0, 1, 2, 3, 4, 5}
+		opt := Options{MaxDepth: 5, MinChildWeight: 1, Lambda: 1}
+
+		base := NewBinnedMatrix(nil, X, 0).Grower(nil).Grow(g, h, rows, cols, opt, nil)
+		if base.Depth() == 0 {
+			t.Fatalf("%s: degenerate test tree", name)
+		}
+		bf, bt, bl := flatTree(base)
+		baseGains := make([]float64, dim)
+		base.AccumulateGains(baseGains)
+		for _, w := range []int{1, 2, 4, 8} {
+			e := score.New(w)
+			got := NewBinnedMatrix(e, X, 0).Grower(e).Grow(g, h, rows, cols, opt, nil)
+			gf, gt, gl := flatTree(got)
+			gotGains := make([]float64, dim)
+			got.AccumulateGains(gotGains)
+			for j := range bf {
+				if bf[j] != gf[j] || math.Float64bits(bt[j]) != math.Float64bits(gt[j]) {
+					t.Fatalf("%s workers=%d: node %d differs", name, w, j)
+				}
+			}
+			for j := range bl {
+				if math.Float64bits(bl[j]) != math.Float64bits(gl[j]) {
+					t.Fatalf("%s workers=%d: leaf %d differs", name, w, j)
+				}
+			}
+			for f := range baseGains {
+				if math.Float64bits(baseGains[f]) != math.Float64bits(gotGains[f]) {
+					t.Fatalf("%s workers=%d: gain %d differs", name, w, f)
+				}
+			}
+		}
+	}
+}
+
+// TestHistogramSubtractionInvariant: for every grown split node, the two
+// child histograms must sum bin-wise back to the parent's — row counts
+// exactly, gradient/hessian sums to accumulation-order rounding. This
+// catches subtraction and accumulation-order bugs directly instead of
+// through final-tree diffs.
+func TestHistogramSubtractionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 29))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.IntN(600)
+		dim := 4 + rng.IntN(3) // ≥4 so lowCardMatrix always has rich columns
+		var X [][]float64
+		if trial%2 == 0 {
+			X = lowCardMatrix(rng, n, dim, 100)
+		} else {
+			X = randomMatrix(rng, n, dim)
+		}
+		g := make([]float64, n)
+		h := make([]float64, n)
+		for i := range g {
+			g[i] = rng.NormFloat64()
+			h[i] = 0.5 + rng.Float64()
+		}
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+		cols := make([]int, dim)
+		for f := range cols {
+			cols[f] = f
+		}
+
+		bm := NewBinnedMatrix(nil, X, 0)
+		gw := bm.Grower(nil)
+		checked := 0
+		gw.SetHistProbe(func(f int, parent, left, right Hist) {
+			checked++
+			for b := range parent.Count {
+				if left.Count[b]+right.Count[b] != parent.Count[b] {
+					t.Fatalf("trial %d feature %d bin %d: counts %d+%d != %d",
+						trial, f, b, left.Count[b], right.Count[b], parent.Count[b])
+				}
+				if d := math.Abs(left.G[b] + right.G[b] - parent.G[b]); d > 1e-9*(1+math.Abs(parent.G[b])) {
+					t.Fatalf("trial %d feature %d bin %d: g %v+%v != %v",
+						trial, f, b, left.G[b], right.G[b], parent.G[b])
+				}
+				if d := math.Abs(left.H[b] + right.H[b] - parent.H[b]); d > 1e-9*(1+math.Abs(parent.H[b])) {
+					t.Fatalf("trial %d feature %d bin %d: h %v+%v != %v",
+						trial, f, b, left.H[b], right.H[b], parent.H[b])
+				}
+			}
+		})
+		tr := gw.Grow(g, h, rows, cols, Options{MaxDepth: 5, MinChildWeight: 1, Lambda: 1}, nil)
+		if tr.Depth() < 2 {
+			t.Fatalf("trial %d: tree too shallow (%d) to exercise subtraction", trial, tr.Depth())
+		}
+		if checked == 0 {
+			t.Fatalf("trial %d: histogram probe never fired", trial)
+		}
+	}
+}
+
+// TestBinnedContinuousStaysClose: on continuous data (lossy quantile
+// bins) a single binned tree is an approximation, but it must keep fitting
+// the same signal: its training RMSE stays within a pinned factor of the
+// exact-greedy tree's.
+func TestBinnedContinuousStaysClose(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 37))
+	for trial := 0; trial < 5; trial++ {
+		n, dim := 1200, 5
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		g := make([]float64, n)
+		h := make([]float64, n)
+		for i := range X {
+			X[i] = make([]float64, dim)
+			for f := range X[i] {
+				X[i][f] = rng.NormFloat64()
+			}
+			y[i] = 2*X[i][0] + math.Sin(3*X[i][1]) + 0.1*rng.NormFloat64()
+			g[i] = -y[i]
+			h[i] = 1
+		}
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+		cols := []int{0, 1, 2, 3, 4}
+		opt := Options{MaxDepth: 5, MinChildWeight: 1, Lambda: 0}
+
+		ref := Grow(X, g, h, rows, cols, opt)
+		bm := NewBinnedMatrix(nil, X, 0)
+		if bm.Lossless() {
+			t.Fatal("continuous matrix unexpectedly lossless")
+		}
+		got := bm.Grower(nil).Grow(g, h, rows, cols, opt, nil)
+
+		rmse := func(tr *Tree) float64 {
+			var sse float64
+			for i, x := range X {
+				d := tr.Predict(x) - y[i]
+				sse += d * d
+			}
+			return math.Sqrt(sse / float64(n))
+		}
+		re, rb := rmse(ref), rmse(got)
+		if rb > 1.1*re+1e-9 {
+			t.Fatalf("trial %d: binned train RMSE %v vs exact %v exceeds 1.1x tolerance", trial, rb, re)
+		}
+	}
+}
+
+// TestQuantizeColumnEdgeCases pins the quantizer on the boundary shapes
+// the fuzz target also explores: constants, empty input, exact fits and
+// forced quantile grouping.
+func TestQuantizeColumnEdgeCases(t *testing.T) {
+	codes := make([]uint8, 8)
+	q := quantizeColumn([]float64{7.5, 7.5, 7.5, 7.5}, MaxBins, codes[:4])
+	if q.nb != 1 || !q.exact || q.lo[0] != 7.5 || q.hi[0] != 7.5 {
+		t.Fatalf("constant column: %+v", q)
+	}
+	for _, c := range codes[:4] {
+		if c != 0 {
+			t.Fatalf("constant column code %d", c)
+		}
+	}
+
+	q = quantizeColumn(nil, MaxBins, nil)
+	if q.nb != 0 || !q.exact {
+		t.Fatalf("empty column: %+v", q)
+	}
+
+	q = quantizeColumn([]float64{3, 1, 3, 2}, MaxBins, codes[:4])
+	if q.nb != 3 || !q.exact {
+		t.Fatalf("three-level column: %+v", q)
+	}
+	want := []uint8{2, 0, 2, 1}
+	for i, c := range codes[:4] {
+		if c != want[i] {
+			t.Fatalf("three-level codes = %v, want %v", codes[:4], want)
+		}
+	}
+
+	// 1000 rows, 500 distinct values, 8 bins: quantile grouping.
+	rng := rand.New(rand.NewPCG(41, 47))
+	n := 1000
+	col := make([]float64, n)
+	for i := range col {
+		col[i] = float64(rng.IntN(500))
+	}
+	big := make([]uint8, n)
+	q = quantizeColumn(col, 8, big)
+	if q.exact || q.nb > 8 || q.nb < 2 {
+		t.Fatalf("quantile column: %+v", q)
+	}
+	for i, v := range col {
+		b := int(big[i])
+		if v < q.lo[b] || v > q.hi[b] {
+			t.Fatalf("row %d: value %v outside bin %d [%v, %v]", i, v, b, q.lo[b], q.hi[b])
+		}
+	}
+	for b := 0; b+1 < q.nb; b++ {
+		if !(q.hi[b] < q.lo[b+1]) {
+			t.Fatalf("bins %d/%d overlap: hi %v, next lo %v", b, b+1, q.hi[b], q.lo[b+1])
+		}
+	}
+}
+
+// BenchmarkBinnedMatrixBuild measures one-time quantization of the wide
+// training workload (2000×8) — the per-fit setup cost the per-round
+// histogram savings amortize.
+func BenchmarkBinnedMatrixBuild(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	X := randomMatrix(rng, 2000, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewBinnedMatrix(nil, X, 0)
+	}
+}

@@ -1,0 +1,96 @@
+package tree
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzQuantize drives quantizeColumn with arbitrary byte-derived columns
+// and bin budgets, checking the invariants every consumer relies on:
+// cut monotonicity (bins cover disjoint, ascending value ranges), every
+// value coded into a valid bin whose range contains it, order
+// preservation, and exactness bookkeeping for empty, constant and
+// low-cardinality columns.
+//
+// Run the full fuzzer with:
+//
+//	go test ./internal/ml/tree -fuzz=FuzzQuantize -fuzztime=30s
+func FuzzQuantize(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(2))
+	seed := make([]byte, 0, 80)
+	for i := 0; i < 10; i++ {
+		seed = binary.LittleEndian.AppendUint64(seed, math.Float64bits(float64(i%3)))
+	}
+	f.Add(seed, uint8(4))
+
+	f.Fuzz(func(t *testing.T, raw []byte, bins uint8) {
+		maxBins := 2 + int(bins)%(MaxBins-1) // [2, 256]
+		n := len(raw) / 8
+		col := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+			if math.IsNaN(v) {
+				v = 0 // the quantizer's contract excludes NaN inputs
+			}
+			col = append(col, v)
+		}
+		codes := make([]uint8, len(col))
+		q := quantizeColumn(col, maxBins, codes)
+
+		if len(col) == 0 {
+			if q.nb != 0 || !q.exact {
+				t.Fatalf("empty column: %+v", q)
+			}
+			return
+		}
+		if q.nb < 1 || q.nb > maxBins {
+			t.Fatalf("bin count %d outside [1, %d]", q.nb, maxBins)
+		}
+		if len(q.lo) != q.nb || len(q.hi) != q.nb {
+			t.Fatalf("bounds sized %d/%d for %d bins", len(q.lo), len(q.hi), q.nb)
+		}
+		for b := 0; b < q.nb; b++ {
+			if q.lo[b] > q.hi[b] {
+				t.Fatalf("bin %d inverted: [%v, %v]", b, q.lo[b], q.hi[b])
+			}
+			if b+1 < q.nb && !(q.hi[b] < q.lo[b+1]) {
+				t.Fatalf("bins %d/%d not ascending-disjoint: hi %v, next lo %v", b, b+1, q.hi[b], q.lo[b+1])
+			}
+		}
+
+		distinct := map[float64]bool{}
+		for i, v := range col {
+			distinct[v] = true
+			b := int(codes[i])
+			if b >= q.nb {
+				t.Fatalf("row %d coded to bin %d of %d", i, b, q.nb)
+			}
+			if v < q.lo[b] || v > q.hi[b] {
+				t.Fatalf("row %d: value %v outside bin %d [%v, %v]", i, v, b, q.lo[b], q.hi[b])
+			}
+			// Order preservation: codes are monotone in value.
+			for j := 0; j < i; j++ {
+				if (col[j] < v && codes[j] > codes[i]) || (col[j] > v && codes[j] < codes[i]) {
+					t.Fatalf("codes not monotone: col[%d]=%v→%d vs col[%d]=%v→%d",
+						j, col[j], codes[j], i, v, codes[i])
+				}
+			}
+		}
+
+		if wantExact := len(distinct) <= maxBins; q.exact != wantExact {
+			t.Fatalf("exact=%v for %d distinct values, %d bins", q.exact, len(distinct), maxBins)
+		}
+		if q.exact {
+			if q.nb != len(distinct) {
+				t.Fatalf("exact column: %d bins for %d distinct values", q.nb, len(distinct))
+			}
+			for b := 0; b < q.nb; b++ {
+				if q.lo[b] != q.hi[b] {
+					t.Fatalf("exact bin %d not a singleton: [%v, %v]", b, q.lo[b], q.hi[b])
+				}
+			}
+		}
+	})
+}

@@ -19,7 +19,7 @@ import (
 // threshold and gain at every node, same leaf values, bit for bit. That
 // holds because both trainers share one tie-break contract (rows ordered
 // by (value, row index) within a column, splits only between distinct
-// adjacent values, strictly-greater gain to replace the incumbent, columns
+// adjacent values, the gainBeats margin to replace the incumbent, columns
 // reduced in cols order) and because stable partition preserves exactly
 // that order in every descendant node, so each floating-point accumulation
 // visits rows in the same sequence the reference sort produces.
@@ -237,7 +237,7 @@ func (t *growTask) grow(lo, hi, depth int) *node {
 				continue
 			}
 			gain := gl*gl/(hl+opt.Lambda) + gr*gr/(hr+opt.Lambda) - parentScore
-			if gain > best {
+			if gainBeats(gain, best, parentScore) {
 				best, thr, found = gain, (v+vn)/2, true
 			}
 		}
@@ -254,7 +254,7 @@ func (t *growTask) grow(lo, hi, depth int) *node {
 	bestGain := opt.Gamma
 	bestCI := -1
 	for ci := range t.cols {
-		if gw.colFound[ci] && gw.colGain[ci] > bestGain {
+		if gw.colFound[ci] && gainBeats(gw.colGain[ci], bestGain, parentScore) {
 			bestGain, bestCI = gw.colGain[ci], ci
 		}
 	}

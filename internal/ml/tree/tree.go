@@ -52,12 +52,36 @@ type node struct {
 // node; Grow is kept as the independent oracle the equivalence property
 // tests and training benchmarks compare against.
 //
-// Determinism/tie-break contract (shared with the pre-sorted trainer):
-// within a feature column rows are ordered by (value, row index) — a
-// stable, input-order-independent total order — candidate splits are
-// evaluated only between distinct adjacent values, and a candidate
-// replaces the incumbent only on strictly greater gain, so the first
-// best-gain candidate in (column order, value order) wins ties.
+// Determinism/tie-break contract (shared with the pre-sorted and
+// histogram-binned trainers): within a feature column rows are ordered
+// by (value, row index) — a stable, input-order-independent total order —
+// candidate splits are evaluated only between distinct adjacent values,
+// and a candidate replaces the incumbent only when its gain clears the
+// incumbent's by the gainBeats margin, so the first best-gain candidate
+// in (column order, value order) wins both exact ties and ties within
+// accumulation-order noise.
+// gainTieEps is the relative margin a split candidate must clear the
+// incumbent best gain by. Different training kernels fold the same
+// per-node gradient sums in different (deterministic) associations —
+// row-by-row here, per-bin subtotals and histogram subtraction in the
+// binned kernel — which perturbs computed gains by a few ulps. Exact-
+// arithmetic gain ties are common (two columns inducing the same or
+// mirrored row partition score identically), and resolving them by raw
+// float comparison would let that noise pick different winners per
+// kernel. The margin is orders of magnitude above the noise (~n·2⁻⁵³
+// relative, so ≲1e-12 for any node this repo trains on) yet far below
+// any gain difference that reflects the data, so every kernel resolves
+// ties identically: first candidate in (column order, value order) wins.
+const gainTieEps = 1e-9
+
+// gainBeats reports whether a candidate gain improves on the incumbent
+// by the shared tie-break margin, scaled to the node's score magnitudes
+// (parentScore anchors the scale even when the gains themselves cancel
+// to near zero).
+func gainBeats(gain, best, parentScore float64) bool {
+	return gain > best+gainTieEps*(parentScore+math.Abs(best)+math.Abs(gain))
+}
+
 func Grow(X [][]float64, g, h []float64, rows []int, cols []int, opt Options) *Tree {
 	if opt.MinChildWeight <= 0 {
 		opt.MinChildWeight = 1e-12
@@ -103,7 +127,7 @@ func grow(X [][]float64, g, h []float64, rows []int, cols []int, opt Options, de
 				continue
 			}
 			gain := gl*gl/(hl+opt.Lambda) + gr*gr/(hr+opt.Lambda) - parentScore
-			if gain > bestGain {
+			if gainBeats(gain, bestGain, parentScore) {
 				bestGain = gain
 				bestFeature = f
 				bestThreshold = (X[order[i]][f] + X[order[i+1]][f]) / 2

@@ -1,0 +1,172 @@
+// Quantized pool cache: the binned counterpart of Matrix. For large
+// candidate pools the cached featurized matrix dominates a tuning run's
+// resident footprint (n×dim float64 rows plus per-row slice headers); the
+// pools in this repo are finite config-space samples whose features take
+// few distinct values per column, so each column compresses to uint8
+// codes plus a ≤256-entry value table — about 8× smaller — with *identity*
+// reconstruction whenever every column really has at most 256 distinct
+// values. Callers gate on Lossless(): a lossless quantized pool decodes
+// to exactly the floats Matrix.Rows would have produced, so model
+// predictions over it are bitwise identical to the float path; a lossy
+// one is only a hint to fall back.
+package score
+
+import (
+	"sort"
+	"sync"
+
+	"ceal/internal/cfgspace"
+)
+
+// Quantized is one candidate pool's features as per-column uint8 codes
+// plus per-column decode tables. Immutable after construction.
+type Quantized struct {
+	N, Dim   int
+	codes    []uint8     // column-major: codes[f*N+i]
+	values   [][]float64 // per feature: code → reconstructed value
+	lossless bool
+}
+
+// Lossless reports whether decoding reproduces every original feature
+// value exactly (every column had at most 256 distinct values).
+func (q *Quantized) Lossless() bool { return q.lossless }
+
+// Row decodes row i into buf (allocating when buf is too small) and
+// returns it. For a lossless matrix the decoded row is bitwise identical
+// to the row Matrix.Rows would cache.
+func (q *Quantized) Row(i int, buf []float64) []float64 {
+	if cap(buf) < q.Dim {
+		buf = make([]float64, q.Dim)
+	}
+	buf = buf[:q.Dim]
+	for f := 0; f < q.Dim; f++ {
+		buf[f] = q.values[f][q.codes[f*q.N+i]]
+	}
+	return buf
+}
+
+// FootprintBytes returns the retained size of the quantized pool (codes
+// plus decode tables) — the quantity the binned cache exists to shrink.
+func (q *Quantized) FootprintBytes() int {
+	b := len(q.codes)
+	for _, v := range q.values {
+		b += 8 * len(v)
+	}
+	return b
+}
+
+// QuantizeRows quantizes a row-major float matrix, fanning per-column
+// work across the engine. Each column with at most 256 distinct values
+// gets one code per distinct value (identity reconstruction); wider
+// columns group adjacent values into 256 near-equal-count bins decoded
+// to the bin's smallest value, and mark the result lossy.
+func QuantizeRows(e *Engine, rows [][]float64) *Quantized {
+	q := &Quantized{N: len(rows)}
+	if q.N == 0 {
+		q.lossless = true
+		return q
+	}
+	q.Dim = len(rows[0])
+	q.codes = make([]uint8, q.Dim*q.N)
+	q.values = make([][]float64, q.Dim)
+	exact := make([]bool, q.Dim)
+	e.Tasks(q.Dim, func(f int) {
+		col := make([]float64, q.N)
+		for i, row := range rows {
+			col[i] = row[f]
+		}
+		q.values[f], exact[f] = quantizePoolColumn(col, q.codes[f*q.N:(f+1)*q.N])
+	})
+	q.lossless = true
+	for _, ok := range exact {
+		q.lossless = q.lossless && ok
+	}
+	return q
+}
+
+// quantizePoolColumn codes one column, returning the decode table and
+// whether the coding is exact.
+func quantizePoolColumn(col []float64, codesOut []uint8) (values []float64, exact bool) {
+	n := len(col)
+	sorted := make([]float64, n)
+	copy(sorted, col)
+	sort.Float64s(sorted)
+	ds := sorted[:0:0]
+	starts := make([]int, 0, 16)
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && sorted[j] == sorted[i] {
+			j++
+		}
+		ds = append(ds, sorted[i])
+		starts = append(starts, i)
+		i = j
+	}
+	d := len(ds)
+	binOf := make([]int, d)
+	exact = d <= 256
+	if exact {
+		for j := range binOf {
+			binOf[j] = j
+		}
+	} else {
+		prevRaw, next := -1, -1
+		for j := 0; j < d; j++ {
+			raw := starts[j] * 256 / n
+			if raw != prevRaw {
+				prevRaw = raw
+				next++
+			}
+			binOf[j] = next
+		}
+	}
+	values = make([]float64, binOf[d-1]+1)
+	for j := d - 1; j >= 0; j-- {
+		values[binOf[j]] = ds[j] // the bin's smallest value wins
+	}
+	for i, v := range col {
+		j := sort.SearchFloat64s(ds, v)
+		if j >= d || ds[j] != v {
+			j = d - 1
+		}
+		codesOut[i] = uint8(binOf[j])
+	}
+	return values, exact
+}
+
+// BinnedMatrix caches the quantized features of one candidate pool —
+// the binned variant of Matrix, keyed by the same slice identity.
+type BinnedMatrix struct {
+	mu   sync.Mutex
+	head *cfgspace.Config
+	n    int
+	q    *Quantized
+}
+
+// Quantized returns the quantized pool, featurizing and coding it on the
+// engine's workers on first use and serving the cache on every later
+// call with the same pool slice. The float feature rows are only
+// transient scratch here — they are dropped once coded, which is the
+// footprint win over Matrix.Rows. Concurrent first calls may quantize
+// redundantly but always return a consistent matrix.
+func (m *BinnedMatrix) Quantized(e *Engine, pool []cfgspace.Config, feats func(cfgspace.Config) []float64) *Quantized {
+	if len(pool) == 0 {
+		return &Quantized{lossless: true}
+	}
+	m.mu.Lock()
+	if m.head == &pool[0] && m.n == len(pool) {
+		q := m.q
+		m.mu.Unlock()
+		return q
+	}
+	m.mu.Unlock()
+
+	rows := make([][]float64, len(pool))
+	e.Map(len(pool), func(i int) { rows[i] = feats(pool[i]) })
+	q := QuantizeRows(e, rows)
+
+	m.mu.Lock()
+	m.head, m.n, m.q = &pool[0], len(pool), q
+	m.mu.Unlock()
+	return q
+}

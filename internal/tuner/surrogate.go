@@ -20,20 +20,36 @@ type Surrogate struct {
 	params xgb.Params
 	model  *xgb.Model
 	eng    *score.Engine
-	mat    *score.Matrix // featurized-pool cache (shared per problem for the workflow featurizer)
+	mat    *score.Matrix       // featurized-pool cache (shared per problem for the workflow featurizer)
+	qmat   *score.BinnedMatrix // quantized-pool cache, used instead of mat when params.Binned and lossless
 }
 
 // newSurrogate builds an untrained surrogate over the problem's workflow
-// features, sharing the problem's featurized-pool cache.
+// features, sharing the problem's featurized-pool caches.
 func newSurrogate(p *Problem) *Surrogate {
-	return &Surrogate{feats: p.features, params: p.surrogateParams(), eng: p.engine(), mat: &p.poolMat}
+	return &Surrogate{feats: p.features, params: p.surrogateParams(), eng: p.engine(), mat: &p.poolMat, qmat: &p.poolQMat}
 }
 
 // newFeatureSurrogate builds a surrogate over a custom featurizer (used by
 // ALpH to append component-model predictions to the features), with its
 // own pool cache since its rows differ from the problem's.
 func newFeatureSurrogate(p *Problem, feats func(cfgspace.Config) []float64) *Surrogate {
-	return &Surrogate{feats: feats, params: p.surrogateParams(), eng: p.engine(), mat: &score.Matrix{}}
+	return &Surrogate{feats: feats, params: p.surrogateParams(), eng: p.engine(), mat: &score.Matrix{}, qmat: &score.BinnedMatrix{}}
+}
+
+// quantizedPool returns the quantized pool cache when the surrogate is
+// in binned mode and the pool quantizes losslessly — the regime where
+// decoded rows, and therefore every prediction, are bitwise identical to
+// the float matrix while the cache is ~8× smaller. Otherwise nil, and
+// callers use the float path.
+func (s *Surrogate) quantizedPool(pool []cfgspace.Config) *score.Quantized {
+	if !s.params.Binned {
+		return nil
+	}
+	if q := s.qmat.Quantized(s.eng, pool, s.feats); q.Lossless() {
+		return q
+	}
+	return nil
 }
 
 // Trained reports whether Train has succeeded at least once.
@@ -90,8 +106,13 @@ func (s *Surrogate) PredictPool(pool []cfgspace.Config) []float64 {
 	if s.model == nil {
 		panic("tuner: PredictPool on untrained surrogate")
 	}
-	X := s.mat.Rows(s.eng, pool, s.feats)
-	out := s.model.PredictBatchOn(s.eng, X)
+	var out []float64
+	if q := s.quantizedPool(pool); q != nil {
+		out = s.model.PredictBatchQuantizedOn(s.eng, q)
+	} else {
+		X := s.mat.Rows(s.eng, pool, s.feats)
+		out = s.model.PredictBatchOn(s.eng, X)
+	}
 	for i, v := range out {
 		out[i] = unlogTarget(v)
 	}
@@ -116,6 +137,18 @@ func (s *Surrogate) poolScorer(p *Problem) poolScorer {
 	return func(cfgs []cfgspace.Config, idxs []int) []float64 {
 		if s.model == nil {
 			panic("tuner: poolScorer on untrained surrogate")
+		}
+		if q := s.quantizedPool(p.Pool); q != nil {
+			// Decode per chunk and walk the pointer trees — the same
+			// m.Predict the float path runs, over bitwise-identical rows.
+			out := make([]float64, len(idxs))
+			s.eng.MapChunks(len(idxs), func(lo, hi int) {
+				buf := make([]float64, q.Dim)
+				for i := lo; i < hi; i++ {
+					out[i] = unlogTarget(s.model.Predict(q.Row(idxs[i], buf)))
+				}
+			})
+			return out
 		}
 		X := s.mat.Rows(s.eng, p.Pool, s.feats)
 		return s.eng.Floats(len(idxs), func(i int) float64 {

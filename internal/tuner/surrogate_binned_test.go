@@ -1,0 +1,160 @@
+package tuner
+
+import (
+	"math"
+	"testing"
+
+	"ceal/internal/ml/xgb"
+)
+
+// TestSurrogateParamsPreservesBinned: a zero-valued Surrogate spec means
+// default boosting parameters, but the kernel selection must ride along
+// so the histogram path can be turned on without respecifying rounds,
+// depth, and the rest.
+func TestSurrogateParamsPreservesBinned(t *testing.T) {
+	p := synthProblem(1, 10)
+	p.Surrogate = xgb.Params{Binned: true, MaxBins: 16}
+	got := p.surrogateParams()
+	want := xgb.DefaultParams()
+	want.Binned, want.MaxBins = true, 16
+	if got != want {
+		t.Fatalf("surrogateParams() = %+v, want defaults with Binned/MaxBins", got)
+	}
+}
+
+// TestSurrogateBinnedPoolScoringMatchesFloat pins the quantized scoring
+// path directly: with one trained model, PredictPool and poolScorer over
+// the uint8-coded pool cache must be bitwise identical to the float-row
+// path — the guarantee the lossless gate provides.
+func TestSurrogateBinnedPoolScoringMatchesFloat(t *testing.T) {
+	p := synthProblem(7, 200)
+	p.Surrogate = xgb.Params{Binned: true}
+	s := newSurrogate(p)
+	cfgs := p.Pool[:30]
+	samples, err := measureBatch(p, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Train(samples); err != nil {
+		t.Fatal(err)
+	}
+	if s.quantizedPool(p.Pool) == nil {
+		t.Fatal("lossless synthetic pool did not take the quantized path")
+	}
+
+	binnedPool := s.PredictPool(p.Pool)
+	scorer := s.poolScorer(p)
+	idxs := make([]int, len(p.Pool))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	binnedScores := scorer(p.Pool, idxs)
+
+	// Same model, float path: flipping the kernel flag only changes how
+	// the pool rows reach the ensemble.
+	s.params.Binned = false
+	if s.quantizedPool(p.Pool) != nil {
+		t.Fatal("quantized path active with Binned off")
+	}
+	floatPool := s.PredictPool(p.Pool)
+	floatScores := s.poolScorer(p)(p.Pool, idxs)
+
+	for i := range floatPool {
+		if math.Float64bits(binnedPool[i]) != math.Float64bits(floatPool[i]) {
+			t.Fatalf("PredictPool[%d]: quantized %v, float %v", i, binnedPool[i], floatPool[i])
+		}
+		if math.Float64bits(binnedScores[i]) != math.Float64bits(floatScores[i]) {
+			t.Fatalf("poolScorer[%d]: quantized %v, float %v", i, binnedScores[i], floatScores[i])
+		}
+	}
+}
+
+// TestAlgorithmsBinnedSurrogateMatchesExact: with the synthetic problem's
+// lossless feature space, switching every surrogate to the histogram
+// kernel must leave each algorithm's entire Result byte-identical to the
+// exact-greedy run — same measurements, same best, bitwise pool scores.
+func TestAlgorithmsBinnedSurrogateMatchesExact(t *testing.T) {
+	const (
+		seed   = 42
+		pool   = 300
+		budget = 24
+	)
+	for _, alg := range allAlgorithms() {
+		run := func(binned bool) *Result {
+			p := synthProblem(seed, pool)
+			p.Surrogate.Binned = binned
+			res, err := alg.Tune(p, budget)
+			if err != nil {
+				t.Fatalf("%s binned=%v: %v", alg.Name(), binned, err)
+			}
+			return res
+		}
+		exact := run(false)
+		binned := run(true)
+		if binned.Best.Key() != exact.Best.Key() {
+			t.Errorf("%s: binned Best %v, exact Best %v", alg.Name(), binned.Best, exact.Best)
+		}
+		if binned.SwitchIteration != exact.SwitchIteration {
+			t.Errorf("%s: binned SwitchIteration %d, exact %d", alg.Name(), binned.SwitchIteration, exact.SwitchIteration)
+		}
+		if len(binned.Samples) != len(exact.Samples) {
+			t.Fatalf("%s: binned measured %d samples, exact %d", alg.Name(), len(binned.Samples), len(exact.Samples))
+		}
+		for i := range exact.Samples {
+			if binned.Samples[i].Cfg.Key() != exact.Samples[i].Cfg.Key() {
+				t.Errorf("%s: sample %d = %v, exact %v", alg.Name(), i, binned.Samples[i].Cfg, exact.Samples[i].Cfg)
+				break
+			}
+		}
+		for i := range exact.PoolScores {
+			if math.Float64bits(binned.PoolScores[i]) != math.Float64bits(exact.PoolScores[i]) {
+				t.Errorf("%s: PoolScores[%d] = %v, exact %v", alg.Name(), i, binned.PoolScores[i], exact.PoolScores[i])
+				break
+			}
+		}
+	}
+}
+
+// TestResultsBinnedIdenticalAcrossWorkerCounts extends the worker-count
+// determinism contract to the histogram kernel: a binned-surrogate CEAL
+// run must produce byte-identical results at any scoring width.
+func TestResultsBinnedIdenticalAcrossWorkerCounts(t *testing.T) {
+	const (
+		seed   = 42
+		pool   = 300
+		budget = 24
+	)
+	alg := NewCEAL()
+	run := func(workers int) *Result {
+		p := synthProblem(seed, pool)
+		p.Workers = workers
+		p.Surrogate.Binned = true
+		res, err := alg.Tune(p, budget)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4, 8} {
+		got := run(w)
+		if got.Best.Key() != ref.Best.Key() {
+			t.Errorf("workers=%d: Best %v, serial Best %v", w, got.Best, ref.Best)
+		}
+		for i := range ref.PoolScores {
+			if math.Float64bits(got.PoolScores[i]) != math.Float64bits(ref.PoolScores[i]) {
+				t.Errorf("workers=%d: PoolScores[%d] = %v, serial %v", w, i, got.PoolScores[i], ref.PoolScores[i])
+				break
+			}
+		}
+		if len(got.Samples) != len(ref.Samples) {
+			t.Fatalf("workers=%d: measured %d samples, serial %d", w, len(got.Samples), len(ref.Samples))
+		}
+		for i := range ref.Samples {
+			if got.Samples[i].Cfg.Key() != ref.Samples[i].Cfg.Key() {
+				t.Errorf("workers=%d: sample %d = %v, serial %v", w, i, got.Samples[i].Cfg, ref.Samples[i].Cfg)
+				break
+			}
+		}
+	}
+}
