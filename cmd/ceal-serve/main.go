@@ -7,7 +7,18 @@
 //
 // Usage:
 //
-//	ceal-serve -addr :8080 -workers 2 -queue 16 -store runs.jsonl
+//	ceal-serve -addr :8080 -workers 2 -queue 16 -store runs.db
+//
+// Measurements can fan out to remote ceal-worker daemons instead of
+// running in-process, and several replicas can share one store directory
+// (each minting replica-prefixed run IDs and deduplicating against the
+// others' finished runs):
+//
+//	ceal-worker -addr :9400 & ceal-worker -addr :9401 &
+//	ceal-serve -addr :8080 -replica-id a -store /shared/runs.db \
+//	    -workers-remote http://localhost:9400,http://localhost:9401
+//	ceal-serve -addr :8081 -replica-id b -store /shared/runs.db \
+//	    -workers-remote http://localhost:9400,http://localhost:9401
 //
 //	curl -X POST localhost:8080/v1/runs -d '{"benchmark":"LV","algorithm":"ceal","budget":50}'
 //	curl -X POST localhost:8080/v1/runs -d '{"benchmark":"LV","warm_start":true}'  # seed from history
@@ -37,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,8 +67,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		addr      = fs.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
 		workers   = fs.Int("workers", 2, "concurrent tuning runs")
 		queue     = fs.Int("queue", 16, "admission queue limit")
-		storePath = fs.String("store", "", "JSONL run-store path (empty: in-memory only)")
+		storePath = fs.String("store", "", "run-store path (empty: in-memory only)")
 		drain     = fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline")
+		remote    = fs.String("workers-remote", "", "comma-separated ceal-worker URLs; measurements fan out to them instead of running in-process")
+		replica   = fs.String("replica-id", "", "replica name for multi-replica deployments sharing one -store; run IDs become run-<replica>-NNNNNN")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,26 +79,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ceal-serve: unexpected arguments: %v\n", fs.Args())
 		return 2
 	}
+	if strings.ContainsAny(*replica, "-/ \t") {
+		fmt.Fprintf(stderr, "ceal-serve: -replica-id %q must not contain dashes, slashes or spaces\n", *replica)
+		return 2
+	}
 
-	var store service.Store
+	opts := service.Options{Workers: *workers, QueueLimit: *queue, ReplicaID: *replica}
+	if *remote != "" {
+		var urls []string
+		for _, u := range strings.Split(*remote, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			fmt.Fprintln(stderr, "ceal-serve: -workers-remote given but no worker URLs parsed")
+			return 2
+		}
+		opts.Build = service.BuildSpecRemote(urls)
+	}
 	if *storePath != "" {
 		fst, err := service.OpenFileStore(*storePath)
 		if err != nil {
 			fmt.Fprintln(stderr, "ceal-serve:", err)
 			return 1
 		}
-		store = fst
+		opts.Store = fst
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serve(ctx, *addr, *workers, *queue, store, *drain, stdout, stderr)
+	return serve(ctx, *addr, opts, *drain, stdout, stderr)
 }
 
 // serve listens on addr and blocks until ctx is cancelled (signal) or the
 // listener fails, then drains the manager within the deadline.
-func serve(ctx context.Context, addr string, workers, queue int, store service.Store, drain time.Duration, stdout, stderr io.Writer) int {
-	mgr := service.NewManager(service.Options{Workers: workers, QueueLimit: queue, Store: store})
+func serve(ctx context.Context, addr string, opts service.Options, drain time.Duration, stdout, stderr io.Writer) int {
+	mgr := service.NewManager(opts)
 	srv := &http.Server{Handler: service.NewServer(mgr)}
 
 	ln, err := net.Listen("tcp", addr)
@@ -92,7 +123,7 @@ func serve(ctx context.Context, addr string, workers, queue int, store service.S
 		fmt.Fprintln(stderr, "ceal-serve:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "ceal-serve: listening on %s (%d workers, queue %d)\n", ln.Addr(), workers, queue)
+	fmt.Fprintf(stdout, "ceal-serve: listening on %s (%d workers, queue %d)\n", ln.Addr(), opts.Workers, opts.QueueLimit)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -31,12 +31,27 @@ func TestRunFlagErrors(t *testing.T) {
 
 func TestRunBadStorePath(t *testing.T) {
 	var out, errOut bytes.Buffer
-	dir := t.TempDir() // a directory is not a valid store file
-	if code := run([]string{"-store", dir}, &out, &errOut); code != 1 {
+	// A store path whose parent is a regular file can be neither opened nor
+	// created as a segmented store directory.
+	parent := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(parent, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-store", filepath.Join(parent, "runs")}, &out, &errOut); code != 1 {
 		t.Fatalf("bad store exit = %d, want 1", code)
 	}
 	if errOut.Len() == 0 {
 		t.Fatal("no error reported for bad store path")
+	}
+}
+
+func TestRunBadReplicaID(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-replica-id", "a-b"}, &out, &errOut); code != 2 {
+		t.Fatalf("dashed replica id exit = %d, want 2", code)
+	}
+	if code := run([]string{"-workers-remote", " , "}, &out, &errOut); code != 2 {
+		t.Fatalf("empty worker list exit = %d, want 2", code)
 	}
 }
 
@@ -55,7 +70,7 @@ func TestServeSmoke(t *testing.T) {
 	var errOut bytes.Buffer
 	done := make(chan int, 1)
 	go func() {
-		done <- serve(ctx, "127.0.0.1:0", 1, 4, mustStore(t, storePath), 10*time.Second, outW, &errOut)
+		done <- serve(ctx, "127.0.0.1:0", service.Options{Workers: 1, QueueLimit: 4, Store: mustStore(t, storePath)}, 10*time.Second, outW, &errOut)
 		outW.Close()
 	}()
 
@@ -127,13 +142,21 @@ func TestServeSmoke(t *testing.T) {
 	}
 	io.Copy(io.Discard, outR)
 
-	// The finished run survived in the store file.
-	data, err := os.ReadFile(storePath)
+	// The finished run survived in the store's segment files.
+	entries, err := os.ReadDir(storePath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains(data, []byte(`"state":"done"`)) {
-		t.Fatalf("store file missing finished run:\n%s", data)
+	var all []byte
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(storePath, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, data...)
+	}
+	if !bytes.Contains(all, []byte(`"state":"done"`)) {
+		t.Fatalf("store missing finished run:\n%s", all)
 	}
 }
 

@@ -1,0 +1,101 @@
+// Command ceal-worker runs a remote measurement daemon: a small HTTP
+// server wrapping the cluster simulator and the component-application
+// kernels behind POST /v1/measure, so one or more ceal-serve replicas (or
+// any dispatch.Remote client) can fan measurement batches out across
+// machines.
+//
+// Usage:
+//
+//	ceal-worker -addr :9400 -workers 4
+//
+// Each request names its job (benchmark, objective, seed) and carries a
+// shard of configuration items; the worker reconstructs the deterministic
+// evaluator and returns one value per item, tagged with the item's batch
+// sequence number. Workers are stateless: any worker produces identical
+// values for identical items, which is what lets the dispatcher reassign a
+// lost worker's shard to a survivor without changing results.
+//
+// SIGINT/SIGTERM shut the server down gracefully; in-flight shards finish
+// within the drain deadline.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ceal/internal/worker"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment explicit, so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ceal-worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", ":9400", "listen address (host:port; :0 picks a free port)")
+		workers = fs.Int("workers", 1, "parallel measurements per request")
+		drain   = fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "ceal-worker: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if *workers < 1 {
+		fmt.Fprintf(stderr, "ceal-worker: -workers must be >= 1 (got %d)\n", *workers)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, *addr, *workers, *drain, stdout, stderr)
+}
+
+// serve listens on addr and blocks until ctx is cancelled (signal) or the
+// listener fails, then drains within the deadline.
+func serve(ctx context.Context, addr string, workers int, drain time.Duration, stdout, stderr io.Writer) int {
+	srv := &http.Server{Handler: worker.NewServer(workers)}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "ceal-worker:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ceal-worker: listening on %s (%d measurement workers)\n", ln.Addr(), workers)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	code := 0
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "ceal-worker: shutting down")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "ceal-worker:", err)
+			code = 1
+		}
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(stderr, "ceal-worker: shutdown:", err)
+		code = 1
+	}
+	return code
+}

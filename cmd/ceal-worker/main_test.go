@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"positional"}, &out, &errOut); code != 2 {
+		t.Fatalf("positional arg exit = %d, want 2", code)
+	}
+	if code := run([]string{"-workers", "0"}, &out, &errOut); code != 2 {
+		t.Fatalf("zero workers exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-workers") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}
+
+// TestServeSmoke boots the daemon on an ephemeral port, probes it over
+// HTTP, and shuts it down via context cancellation — the SIGTERM path.
+func TestServeSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	outR, outW := io.Pipe()
+	var errOut bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- serve(ctx, "127.0.0.1:0", 2, 5*time.Second, outW, &errOut)
+		outW.Close()
+	}()
+
+	// The first stdout line announces the bound address.
+	line, err := bufio.NewReader(outR).ReadString('\n')
+	if err != nil {
+		t.Fatalf("no startup line: %v (stderr: %s)", err, errOut.String())
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		t.Fatalf("startup line = %q", line)
+	}
+	base := "http://" + fields[3]
+	go io.Copy(io.Discard, outR) // keep later log lines from blocking the pipe
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("serve exit = %d, stderr: %s", code, errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not drain after cancel")
+	}
+}

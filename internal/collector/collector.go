@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"ceal/internal/cfgspace"
+	"ceal/internal/dispatch"
 	"ceal/internal/emews"
 )
 
@@ -39,16 +40,10 @@ import (
 // simulator directly or look measurements up in a pre-built ground truth.
 // Implementations must be safe for concurrent use and deterministic per
 // configuration (repeated calls with the same arguments return the same
-// value).
-type Evaluator interface {
-	// MeasureWorkflow returns the optimization metric of one coupled
-	// workflow run at cfg (lower is better).
-	MeasureWorkflow(cfg cfgspace.Config) (float64, error)
-	// MeasureComponent returns the metric of one standalone run of
-	// component j at its sub-configuration cfg (nil for unconfigurable
-	// components).
-	MeasureComponent(j int, cfg cfgspace.Config) (float64, error)
-}
+// value). The interface is owned by internal/dispatch (the measurement
+// transport layer); this alias keeps the collector's historical import
+// surface.
+type Evaluator = dispatch.Evaluator
 
 // Sample is one measured configuration.
 type Sample struct {
@@ -92,11 +87,12 @@ func (s Stats) String() string {
 		s.Hits, s.Misses, s.Coalesced, rate, s.Retries, s.Errors, s.InFlightPeak)
 }
 
-// Collector owns an Evaluator and an emews.Runner and serves every
-// measurement request through one cache. The zero value is not usable;
-// construct with New.
+// Collector owns a measurement Dispatcher and an emews.Runner and serves
+// every measurement request through one cache. The zero value is not
+// usable; construct with New (in-process evaluation) or NewDispatcher
+// (any transport, e.g. remote workers).
 type Collector struct {
-	eval   Evaluator
+	disp   dispatch.Dispatcher
 	runner *emews.Runner
 
 	mu           sync.Mutex
@@ -117,15 +113,31 @@ type flight struct {
 	err  error
 }
 
-// New returns a Collector over eval and runner. A nil runner means a
-// serial emews.DefaultRunner. eval may be nil when only the generic
-// RunKeyed API is used (the ground-truth builder's full-measurement path).
+// New returns a Collector over eval and runner: the scalar measurement
+// APIs run in-process on the runner's worker pool (a dispatch.Local
+// substrate). A nil runner means a serial emews.DefaultRunner. eval may be
+// nil when only the generic RunKeyed API is used (the ground-truth
+// builder's full-measurement path).
 func New(eval Evaluator, runner *emews.Runner) *Collector {
+	var disp dispatch.Dispatcher
+	if eval != nil {
+		disp = dispatch.NewLocal(eval, runner)
+	}
+	return NewDispatcher(disp, runner)
+}
+
+// NewDispatcher returns a Collector whose scalar measurement APIs execute
+// on disp — any transport (in-process pool, remote workers) — while the
+// generic RunKeyed API keeps running on the local runner. Because the
+// collector memoizes by configuration key, not by who measured it, results
+// are byte-identical across substrates. A nil runner means a serial
+// emews.DefaultRunner.
+func NewDispatcher(disp dispatch.Dispatcher, runner *emews.Runner) *Collector {
 	if runner == nil {
 		runner = emews.DefaultRunner()
 	}
 	return &Collector{
-		eval:     eval,
+		disp:     disp,
 		runner:   runner,
 		cache:    make(map[string]any),
 		inflight: make(map[string]*flight),
@@ -190,16 +202,16 @@ func (c *Collector) Preload(vals map[string]float64) {
 // duplicate configurations within the batch (or concurrently in flight
 // elsewhere) are measured once.
 func (c *Collector) MeasureWorkflows(ctx context.Context, cfgs []cfgspace.Config) ([]Sample, error) {
-	if c.eval == nil {
+	if c.disp == nil {
 		return nil, fmt.Errorf("collector: no evaluator wired")
 	}
 	keys := make([]string, len(cfgs))
+	items := make([]dispatch.Item, len(cfgs))
 	for i, cfg := range cfgs {
 		keys[i] = "w:" + cfg.Key()
+		items[i] = dispatch.Item{Kind: dispatch.KindWorkflow, Cfg: cfg}
 	}
-	vals, err := runKeyed(ctx, c, keys, &c.workflowRuns, func(i, _ int) (float64, error) {
-		return c.eval.MeasureWorkflow(cfgs[i])
-	})
+	vals, err := runItems(ctx, c, keys, items, &c.workflowRuns)
 	if err != nil {
 		return nil, err
 	}
@@ -215,20 +227,20 @@ func (c *Collector) MeasureWorkflows(ctx context.Context, cfgs []cfgspace.Config
 // returns samples in submission order, with the same caching and
 // deduplication as MeasureWorkflows.
 func (c *Collector) MeasureComponents(ctx context.Context, j int, cfgs []cfgspace.Config) ([]Sample, error) {
-	if c.eval == nil {
+	if c.disp == nil {
 		return nil, fmt.Errorf("collector: no evaluator wired")
 	}
 	keys := make([]string, len(cfgs))
+	items := make([]dispatch.Item, len(cfgs))
 	for i, cfg := range cfgs {
 		if cfg == nil {
 			keys[i] = fmt.Sprintf("c%d:fixed", j)
 		} else {
 			keys[i] = fmt.Sprintf("c%d:%s", j, cfg.Key())
 		}
+		items[i] = dispatch.Item{Kind: dispatch.KindComponent, Component: j, Cfg: cfg}
 	}
-	vals, err := runKeyed(ctx, c, keys, &c.compRuns, func(i, _ int) (float64, error) {
-		return c.eval.MeasureComponent(j, cfgs[i])
-	})
+	vals, err := runItems(ctx, c, keys, items, &c.compRuns)
 	if err != nil {
 		return nil, err
 	}
@@ -251,9 +263,116 @@ func RunKeyed[T any](ctx context.Context, c *Collector, keys []string, job func(
 	return runKeyed(ctx, c, keys, nil, job)
 }
 
-// runKeyed is the collector core: classify each key as cache hit, joinable
-// in-flight measurement, or fresh leader; run the leaders as one runner
-// batch; then join the waiters.
+// runItems is the scalar measurement core: classify each key as cache hit,
+// joinable in-flight measurement, or fresh leader; dispatch the leaders as
+// one batch on the collector's dispatcher (in-process pool or remote
+// workers — the cache is substrate-blind); then join the waiters. Leader
+// items carry their position in the dispatched batch as Seq, so results
+// reassemble deterministically whatever order the substrate returns them.
+func runItems(ctx context.Context, c *Collector, keys []string, items []dispatch.Item, runs *atomic.Uint64) ([]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		c.errs.Add(1)
+		return nil, err
+	}
+	results := make([]float64, len(keys))
+
+	type pending struct {
+		i   int
+		key string
+		fl  *flight
+	}
+	var leaders, waiters []pending
+	var batch []dispatch.Item
+
+	c.mu.Lock()
+	for i, k := range keys {
+		if v, ok := c.cache[k]; ok {
+			results[i] = v.(float64)
+			c.hits.Add(1)
+			continue
+		}
+		if fl, ok := c.inflight[k]; ok {
+			// Either another goroutine or an earlier index of this very
+			// batch is already measuring this key.
+			waiters = append(waiters, pending{i: i, key: k, fl: fl})
+			c.coalesced.Add(1)
+			continue
+		}
+		fl := &flight{done: make(chan struct{})}
+		c.inflight[k] = fl
+		it := items[i]
+		it.Seq = len(leaders)
+		batch = append(batch, it)
+		leaders = append(leaders, pending{i: i, key: k, fl: fl})
+		c.misses.Add(1)
+		if runs != nil {
+			runs.Add(1)
+		}
+	}
+	if len(c.inflight) > c.inflightPeak {
+		c.inflightPeak = len(c.inflight)
+	}
+	c.mu.Unlock()
+
+	var batchErr error
+	if len(leaders) > 0 {
+		ms, err := c.disp.Dispatch(ctx, batch)
+		var vals []float64
+		var retries []int
+		if err == nil {
+			vals, retries, err = dispatch.ByIndex(batch, ms)
+		}
+		batchErr = err
+		var totalRetries uint64
+		c.mu.Lock()
+		for li, ld := range leaders {
+			if err == nil {
+				ld.fl.val = vals[li]
+				c.cache[ld.key] = vals[li]
+				results[ld.i] = vals[li]
+				totalRetries += uint64(retries[li])
+			} else {
+				ld.fl.err = err
+			}
+			delete(c.inflight, ld.key)
+			close(ld.fl.done)
+		}
+		c.mu.Unlock()
+		c.retries.Add(totalRetries)
+	}
+
+	for _, w := range waiters {
+		select {
+		case <-w.fl.done:
+		case <-ctx.Done():
+			if batchErr == nil {
+				batchErr = ctx.Err()
+			}
+			c.errs.Add(1)
+			return nil, batchErr
+		}
+		if w.fl.err != nil {
+			if batchErr == nil {
+				batchErr = w.fl.err
+			}
+			continue
+		}
+		results[w.i] = w.fl.val.(float64)
+	}
+	if batchErr != nil {
+		c.errs.Add(1)
+		return nil, batchErr
+	}
+	return results, nil
+}
+
+// runKeyed is the generic measurement core behind RunKeyed: the same
+// classification as runItems, but leaders execute as closures on the
+// collector's local runner (generic values can't cross a transport
+// boundary).
 func runKeyed[T any](ctx context.Context, c *Collector, keys []string, runs *atomic.Uint64, job func(i, attempt int) (T, error)) ([]T, error) {
 	if ctx == nil {
 		ctx = context.Background()

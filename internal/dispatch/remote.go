@@ -1,0 +1,210 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ceal/internal/emews"
+)
+
+// MeasurePath is the worker daemon's measurement endpoint.
+const MeasurePath = "/v1/measure"
+
+// Job identifies the problem a remote worker reconstructs before measuring:
+// the benchmark workflow, the objective, and the seed that keys the
+// evaluator's deterministic noise. Together with an Item's configuration
+// this fully determines a measurement, which is why any worker produces
+// the same value for the same item.
+type Job struct {
+	Benchmark string `json:"benchmark"`
+	Objective string `json:"objective"`
+	Seed      uint64 `json:"seed"`
+}
+
+// MeasureRequest is POST /v1/measure's body: the job identity plus the
+// shard of items to measure.
+type MeasureRequest struct {
+	Job
+	Items []Item `json:"items"`
+}
+
+// MeasureResponse is the worker's reply: one Measurement per requested
+// item (any order; consumers index by Seq), or an error.
+type MeasureResponse struct {
+	Results []Measurement `json:"results,omitempty"`
+	Error   string        `json:"error,omitempty"`
+}
+
+// Remote fans measurement batches out over HTTP to N ceal-worker daemons.
+//
+// The batch is split into one contiguous shard per worker and the shards
+// are posted concurrently. A failed shard (worker down, network error,
+// non-200 reply) is retried with bounded exponential backoff — each retry
+// rotates to the next worker in the list, so a lost worker's shard is
+// reassigned to a survivor rather than hammering the corpse. The retry
+// engine is the same emews fault model the in-process pool uses, including
+// its deterministic failure injection for tests and its seeded per-worker
+// backoff jitter (so N dispatchers retrying a flaky endpoint don't
+// thundering-herd in lockstep).
+//
+// Results are byte-identical to Local at any worker count and across
+// worker failures: values are deterministic per (job, item) and reassembly
+// is by Seq, so neither sharding nor reassignment can reorder or change
+// them.
+type Remote struct {
+	// Workers are the ceal-worker base URLs (e.g. http://host:9400). At
+	// least one is required.
+	Workers []string
+	// Job is the problem identity sent with every shard.
+	Job Job
+	// Client is the HTTP client (nil: a client with a 5-minute timeout —
+	// measurement batches are long-running).
+	Client *http.Client
+	// MaxRetries bounds relaunches per shard (0 means 3: with worker
+	// rotation that tolerates losing all but one worker).
+	MaxRetries int
+	// Backoff is the delay before a shard's first retry, doubling per
+	// further retry up to BackoffMax (emews semantics; zero retries
+	// immediately).
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// Jitter spreads retry delays by up to this fraction, seeded per
+	// dispatcher by Seed (see emews.Runner.Jitter).
+	Jitter float64
+	// Seed salts the jitter and failure-injection streams — give each
+	// replica/dispatcher its own so their retries decorrelate.
+	Seed uint64
+	// FailureRate injects simulated shard-send failures (emews fault
+	// model) for tests; 0 disables.
+	FailureRate float64
+}
+
+// NewRemote returns a Remote dispatcher posting job's batches to the given
+// worker base URLs.
+func NewRemote(workers []string, job Job) *Remote {
+	return &Remote{Workers: workers, Job: job}
+}
+
+func (r *Remote) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return &http.Client{Timeout: 5 * time.Minute}
+}
+
+// Dispatch implements Dispatcher.
+func (r *Remote) Dispatch(ctx context.Context, batch []Item) ([]Measurement, error) {
+	if len(r.Workers) == 0 {
+		return nil, fmt.Errorf("dispatch: remote dispatcher has no workers")
+	}
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	nshards := len(r.Workers)
+	if nshards > len(batch) {
+		nshards = len(batch)
+	}
+	maxRetries := r.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 3
+	}
+	// One emews job per shard: attempt k posts the shard to the k'th
+	// worker after its home worker (rotation = reassignment on loss).
+	runner := &emews.Runner{
+		Workers:     nshards,
+		MaxRetries:  maxRetries,
+		Backoff:     r.Backoff,
+		BackoffMax:  r.BackoffMax,
+		Jitter:      r.Jitter,
+		Seed:        r.Seed,
+		FailureRate: r.FailureRate,
+	}
+	jobs := make([]func(attempt int) ([]Measurement, error), nshards)
+	for s := 0; s < nshards; s++ {
+		s := s
+		lo, hi := s*len(batch)/nshards, (s+1)*len(batch)/nshards
+		shard := batch[lo:hi]
+		jobs[s] = func(attempt int) ([]Measurement, error) {
+			worker := r.Workers[(s+attempt)%len(r.Workers)]
+			ms, err := r.post(ctx, worker, shard)
+			if err != nil {
+				return nil, err
+			}
+			// Fold the shard's resend count into each item's retry tally
+			// (on top of any worker-side retries).
+			if attempt > 0 {
+				for i := range ms {
+					ms[i].Retries += attempt
+				}
+			}
+			return ms, nil
+		}
+	}
+	shards, err := emews.Do(ctx, runner, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Measurement, 0, len(batch))
+	for _, ms := range shards {
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// post sends one shard to one worker and validates the reply covers
+// exactly the shard's items.
+func (r *Remote) post(ctx context.Context, worker string, shard []Item) ([]Measurement, error) {
+	body, err := json.Marshal(MeasureRequest{Job: r.Job, Items: shard})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+MeasurePath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %s: %w", worker, err)
+	}
+	var mr MeasureResponse
+	if err := json.Unmarshal(data, &mr); err != nil {
+		return nil, fmt.Errorf("dispatch: %s: bad response (%s): %w", worker, http.StatusText(resp.StatusCode), err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := mr.Error
+		if msg == "" {
+			msg = string(data)
+		}
+		return nil, fmt.Errorf("dispatch: %s: %s: %s", worker, resp.Status, msg)
+	}
+	if mr.Error != "" {
+		return nil, fmt.Errorf("dispatch: %s: %s", worker, mr.Error)
+	}
+	// The shard reply must answer exactly the shard's seqs — catching
+	// truncated or misrouted responses before they scramble the batch.
+	want := make(map[int]bool, len(shard))
+	for _, it := range shard {
+		want[it.Seq] = true
+	}
+	if len(mr.Results) != len(shard) {
+		return nil, fmt.Errorf("dispatch: %s: %d results for %d items", worker, len(mr.Results), len(shard))
+	}
+	for _, m := range mr.Results {
+		if !want[m.Seq] {
+			return nil, fmt.Errorf("dispatch: %s: result for unrequested seq %d", worker, m.Seq)
+		}
+		delete(want, m.Seq)
+	}
+	return mr.Results, nil
+}

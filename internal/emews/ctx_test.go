@@ -80,7 +80,7 @@ func TestBackoffCappedAtMax(t *testing.T) {
 	r := &Runner{Backoff: 10 * time.Millisecond, BackoffMax: 15 * time.Millisecond}
 	start := time.Now()
 	// Attempt 5 would be 160ms uncapped; must be <= BackoffMax.
-	if err := r.backoff(context.Background(), 5); err != nil {
+	if err := r.backoff(context.Background(), 0, 5); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {

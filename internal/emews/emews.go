@@ -36,6 +36,14 @@ type Runner struct {
 	Backoff time.Duration
 	// BackoffMax bounds the exponential growth; zero means 30s.
 	BackoffMax time.Duration
+	// Jitter spreads each backoff delay by a deterministic random factor
+	// in [1-Jitter, 1+Jitter] (clamped to [0,1]), so N runners retrying a
+	// flaky endpoint don't thundering-herd in lockstep. The jitter stream
+	// is seeded by Seed and salted per task and attempt: the same
+	// (seed, task, attempt) always draws the same delay, keeping runs
+	// reproducible, while runners with different seeds decorrelate. Zero
+	// (the default) disables jitter.
+	Jitter float64
 }
 
 // DefaultRunner returns a serial runner with a few retries.
@@ -120,7 +128,7 @@ func runOne[T any](ctx context.Context, r *Runner, idx int, job func(attempt int
 	var lastErr error
 	for attempt := 0; attempt <= r.MaxRetries; attempt++ {
 		if attempt > 0 {
-			if err := r.backoff(ctx, attempt); err != nil {
+			if err := r.backoff(ctx, idx, attempt); err != nil {
 				return zero, err
 			}
 		}
@@ -141,12 +149,30 @@ func runOne[T any](ctx context.Context, r *Runner, idx int, job func(attempt int
 	return zero, lastErr
 }
 
-// backoff waits the bounded exponential delay before retry attempt
-// (1-based), returning early with ctx.Err() on cancellation.
-func (r *Runner) backoff(ctx context.Context, attempt int) error {
+// backoff waits the bounded exponential delay (with optional seeded
+// jitter) before retry attempt (1-based) of task idx, returning early with
+// ctx.Err() on cancellation.
+func (r *Runner) backoff(ctx context.Context, idx, attempt int) error {
 	if r.Backoff <= 0 {
 		return ctx.Err()
 	}
+	d := r.BackoffDelay(idx, attempt)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// BackoffDelay returns the delay the runner would wait before retry
+// attempt (1-based) of task idx: bounded exponential growth from Backoff
+// to BackoffMax, scaled by the deterministic seeded jitter factor.
+// Exported so tests (and capacity planning) can inspect the schedule
+// without sleeping through it.
+func (r *Runner) BackoffDelay(idx, attempt int) time.Duration {
 	maxd := r.BackoffMax
 	if maxd <= 0 {
 		maxd = 30 * time.Second
@@ -158,12 +184,23 @@ func (r *Runner) backoff(ctx context.Context, attempt int) error {
 	if d > maxd {
 		d = maxd
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+	if j := r.Jitter; j > 0 {
+		if j > 1 {
+			j = 1
+		}
+		// A distinct stream constant keeps the jitter draws independent of
+		// the failure-injection stream, which shares Seed but salts with
+		// idx<<20|attempt.
+		const jitterStream = 0x6a177e52
+		rng := rand.New(rand.NewPCG(r.Seed, jitterStream^(uint64(idx)<<32|uint64(attempt))))
+		f := 1 + j*(2*rng.Float64()-1)
+		d = time.Duration(float64(d) * f)
+		if d > maxd {
+			d = maxd
+		}
+		if d < 0 {
+			d = 0
+		}
 	}
+	return d
 }

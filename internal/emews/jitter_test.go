@@ -1,0 +1,59 @@
+package emews
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	r := &Runner{Backoff: 100 * time.Millisecond, BackoffMax: 10 * time.Second, Jitter: 0.5, Seed: 7}
+	same := &Runner{Backoff: 100 * time.Millisecond, BackoffMax: 10 * time.Second, Jitter: 0.5, Seed: 7}
+	for idx := 0; idx < 4; idx++ {
+		for attempt := 1; attempt <= 5; attempt++ {
+			d := r.BackoffDelay(idx, attempt)
+			if d != same.BackoffDelay(idx, attempt) {
+				t.Fatalf("jitter not deterministic at (%d,%d)", idx, attempt)
+			}
+			base := 100 * time.Millisecond << (attempt - 1)
+			lo, hi := time.Duration(float64(base)*0.5), time.Duration(float64(base)*1.5)
+			if hi > 10*time.Second {
+				hi = 10 * time.Second
+			}
+			if d < lo || d > hi {
+				t.Fatalf("delay %v outside [%v, %v] at (%d,%d)", d, lo, hi, idx, attempt)
+			}
+		}
+	}
+}
+
+func TestBackoffJitterSaltedPerSeedAndTask(t *testing.T) {
+	a := &Runner{Backoff: time.Second, Jitter: 0.5, Seed: 1}
+	b := &Runner{Backoff: time.Second, Jitter: 0.5, Seed: 2}
+	// Different seeds (one per remote worker client) must decorrelate the
+	// retry schedule — the anti-thundering-herd property.
+	diff := false
+	for attempt := 1; attempt <= 8 && !diff; attempt++ {
+		diff = a.BackoffDelay(0, attempt) != b.BackoffDelay(0, attempt)
+	}
+	if !diff {
+		t.Fatal("seeds 1 and 2 produced identical jitter schedules")
+	}
+	// So must distinct tasks within one runner.
+	diff = false
+	for idx := 0; idx < 8 && !diff; idx++ {
+		diff = a.BackoffDelay(idx, 1) != a.BackoffDelay(idx+8, 1)
+	}
+	if !diff {
+		t.Fatal("tasks share one jitter stream")
+	}
+}
+
+func TestBackoffNoJitterExact(t *testing.T) {
+	r := &Runner{Backoff: 10 * time.Millisecond, BackoffMax: 35 * time.Millisecond}
+	want := []time.Duration{10, 20, 35, 35}
+	for i, w := range want {
+		if d := r.BackoffDelay(3, i+1); d != w*time.Millisecond {
+			t.Fatalf("attempt %d delay = %v, want %v", i+1, d, w*time.Millisecond)
+		}
+	}
+}

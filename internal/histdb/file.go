@@ -3,90 +3,351 @@ package histdb
 import (
 	"bufio"
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 )
 
-// FileStore is a JSONL-file-backed Store: every Save appends the full
-// record as one JSON line, and opening replays the log with last-write-wins
-// per ID — so finished runs survive daemon restarts and identical
-// resubmissions keep being served from disk. The log is append-only (a
-// run's lifecycle leaves one line per state transition); Compact rewrites
-// it to one line per run.
+// FileStore is a disk-backed Store built on a segmented append-only log:
+// path is a directory of fixed-capacity segment files, each a sequence of
+// CRC-framed JSON records (one per Save; a run's lifecycle leaves one
+// record per state transition), replayed with last-write-wins per ID on
+// open. Every writer appends only to segments it created itself — named
+// with a per-process writer ID — so multiple processes (ceal-serve
+// replicas, ceal-tune -history) can share one store directory without ever
+// rewriting or interleaving into each other's files. Refresh picks up
+// records other writers appended since open.
 //
-// Crash tolerance: a process killed mid-append can leave a partial final
-// line (the OS flushed a prefix of the last write). OpenFileStore drops an
-// unterminated, unparseable tail instead of refusing the log, because the
-// replayed prefix is still a consistent store state. Corrupt *terminated*
-// lines are real damage and still fail the open.
+// Record framing is an 8-hex-digit CRC32 (IEEE) of the JSON payload,
+// a space, the payload, and a newline:
+//
+//	crc32hex <json>\n
+//
+// Crash tolerance: a process killed mid-append can leave a torn record at
+// the tail of its segment. Replay drops a damaged tail — the framed prefix
+// is still a consistent store state — but refuses a segment with intact
+// records after the damage, which only real corruption can produce.
+// Crashed writers never resume a tail-damaged segment: a reopened store
+// starts a fresh segment, so damage stays confined where it happened.
+//
+// Stores created by earlier versions as one flat JSONL file are migrated
+// to the segmented layout transparently on open (see migrateFlatLog).
 type FileStore struct {
-	mem  *MemStore
-	mu   sync.Mutex // serializes appends
-	path string
-	f    *os.File
-	w    *bufio.Writer
+	mem *MemStore
+
+	// SegmentBytes is the size at which Save rolls to a fresh segment.
+	// Adjust it only between OpenFileStore and the first Save.
+	SegmentBytes int64
+
+	mu       sync.Mutex // serializes appends, rolls, compaction
+	dir      string
+	writerID string
+	segSeq   int      // sequence number of the active segment
+	f        *os.File // active segment; nil until the first Save
+	w        *bufio.Writer
+	size     int64            // bytes appended to the active segment
+	offsets  map[string]int64 // replayed bytes per segment file name
 }
 
-// OpenFileStore opens (or creates) the JSONL run log at path.
+// DefaultSegmentBytes is the segment roll threshold when the caller does
+// not override FileStore.SegmentBytes.
+const DefaultSegmentBytes = 4 << 20
+
+const (
+	segPrefix = "seg-"
+	segSuffix = ".log"
+	tmpSuffix = ".tmp"
+)
+
+// OpenFileStore opens (or creates) the segmented run log rooted at path.
+// If path holds a flat JSONL log written by an earlier version, it is
+// migrated to the segmented layout first; interrupted migrations are
+// recovered before anything else happens.
 func OpenFileStore(path string) (*FileStore, error) {
-	mem := NewMemStore()
-	if data, err := os.ReadFile(path); err == nil {
-		terminated := len(data) == 0 || data[len(data)-1] == '\n'
-		sc := bufio.NewScanner(bytes.NewReader(data))
-		sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
-		line := 0
-		var lines [][]byte
-		for sc.Scan() {
-			line++
-			if len(sc.Bytes()) == 0 {
-				continue
-			}
-			lines = append(lines, append([]byte(nil), sc.Bytes()...))
-		}
-		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("histdb: %s: %w", path, err)
-		}
-		for i, raw := range lines {
-			var rec RunRecord
-			if err := json.Unmarshal(raw, &rec); err != nil {
-				// An unterminated final line is a crash tail from an
-				// interrupted append: drop it and keep the consistent prefix.
-				if i == len(lines)-1 && !terminated {
-					break
-				}
-				return nil, fmt.Errorf("histdb: %s line %d: %w", path, i+1, err)
-			}
-			mem.mu.Lock()
-			mem.put(&rec)
-			mem.mu.Unlock()
-		}
-	} else if !os.IsNotExist(err) {
+	if err := recoverMigration(path); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if fi, err := os.Stat(path); err == nil && !fi.IsDir() {
+		if err := migrateFlatLog(path); err != nil {
+			return nil, err
+		}
+	} else if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, err
+	}
+	s := &FileStore{
+		mem:          NewMemStore(),
+		SegmentBytes: DefaultSegmentBytes,
+		dir:          path,
+		writerID:     newWriterID(),
+		offsets:      make(map[string]int64),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// newWriterID returns a short random ID distinguishing this process's
+// segments from every other writer's on a shared directory.
+func newWriterID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to the PID: uniqueness among live writers still holds.
+		return fmt.Sprintf("%08x", os.Getpid())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// segments lists the store's segment file names in replay order: by
+// segment sequence, then writer ID (both part of the zero-padded name, so
+// plain lexical order is correct). Temp files from interrupted compactions
+// are never replayed.
+func (s *FileStore) segments() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return nil, err
 	}
-	return &FileStore{mem: mem, path: path, f: f, w: bufio.NewWriter(f)}, nil
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.Type().IsRegular() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		if _, err := segmentSeq(name); err != nil {
+			continue // foreign file that merely resembles a segment
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
-// Save implements Store: update the in-memory view, then append the line.
+// segmentSeq parses the sequence number out of a segment file name
+// (seg-%08d-<writer>.log).
+func segmentSeq(name string) (int, error) {
+	body := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	seqStr, _, ok := strings.Cut(body, "-")
+	if !ok {
+		return 0, fmt.Errorf("histdb: malformed segment name %q", name)
+	}
+	return strconv.Atoi(seqStr)
+}
+
+func segmentName(seq int, writerID string) string {
+	return fmt.Sprintf("%s%08d-%s%s", segPrefix, seq, writerID, segSuffix)
+}
+
+// load replays every segment into the in-memory view and records how far
+// each was consumed, so Refresh only reads what other writers append later.
+func (s *FileStore) load() error {
+	names, err := s.segments()
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		n, err := s.replaySegment(name, 0, true)
+		if err != nil {
+			return err
+		}
+		s.offsets[name] = n
+		if seq, err := segmentSeq(name); err == nil && seq > s.segSeq {
+			s.segSeq = seq
+		}
+	}
+	return nil
+}
+
+// replaySegment reads one segment from the given byte offset, applies
+// every intact framed record to the in-memory view, and returns the new
+// consumed offset. A damaged or incomplete record stops the replay at its
+// start. In strict mode (open-time load) damage followed by an intact
+// record is real corruption and fails the open; lenient mode (Refresh,
+// where a torn tail may simply be another writer mid-append) never errors.
+func (s *FileStore) replaySegment(name string, offset int64, strict bool) (int64, error) {
+	path := filepath.Join(s.dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return offset, nil // compacted away since the directory listing
+		}
+		return offset, err
+	}
+	if offset > int64(len(data)) {
+		if strict {
+			return offset, fmt.Errorf("histdb: %s shrank from %d to %d bytes", path, offset, len(data))
+		}
+		return offset, nil
+	}
+	rest := data[offset:]
+	consumed := offset
+	damaged := false
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // incomplete tail: a crash artifact or an append in flight
+		}
+		line := rest[:nl]
+		rest = rest[nl+1:]
+		rec, err := decodeFramed(line)
+		if err != nil {
+			damaged = true
+			break
+		}
+		s.mem.mu.Lock()
+		s.mem.put(rec)
+		s.mem.mu.Unlock()
+		consumed += int64(nl + 1)
+	}
+	if strict && damaged {
+		// Tail damage is tolerated; damage with intact records after it is not.
+		for len(rest) > 0 {
+			nl := bytes.IndexByte(rest, '\n')
+			if nl < 0 {
+				break
+			}
+			if _, err := decodeFramed(rest[:nl]); err == nil {
+				return consumed, fmt.Errorf("histdb: %s: corrupt record at offset %d followed by intact records", path, consumed)
+			}
+			rest = rest[nl+1:]
+		}
+	}
+	return consumed, nil
+}
+
+// decodeFramed validates one "crc32hex <json>" line and unmarshals it.
+func decodeFramed(line []byte) (*RunRecord, error) {
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, fmt.Errorf("histdb: short or unframed record")
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("histdb: bad record checksum field: %w", err)
+	}
+	payload := line[9:]
+	if got := crc32.ChecksumIEEE(payload); got != uint32(want) {
+		return nil, fmt.Errorf("histdb: record checksum mismatch: %08x != %08x", got, want)
+	}
+	var rec RunRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+func encodeFramed(rec *RunRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = append(line, fmt.Sprintf("%08x ", crc32.ChecksumIEEE(payload))...)
+	line = append(line, payload...)
+	return append(line, '\n'), nil
+}
+
+// Save implements Store: update the in-memory view, then append the framed
+// record to this writer's active segment, rolling to a fresh one at the
+// size threshold.
 func (s *FileStore) Save(rec *RunRecord) error {
 	if err := s.mem.Save(rec); err != nil {
 		return err
 	}
-	line, err := json.Marshal(rec)
+	line, err := encodeFramed(rec)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.w.Write(append(line, '\n')); err != nil {
+	return s.append(line)
+}
+
+// append writes one framed line to the active segment (caller holds mu).
+func (s *FileStore) append(line []byte) error {
+	limit := s.SegmentBytes
+	if limit <= 0 {
+		limit = DefaultSegmentBytes
+	}
+	if s.f == nil || (s.size > 0 && s.size+int64(len(line)) > limit) {
+		if err := s.roll(); err != nil {
+			return err
+		}
+	}
+	if _, err := s.w.Write(line); err != nil {
 		return err
 	}
-	return s.w.Flush()
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	s.size += int64(len(line))
+	s.offsets[segmentName(s.segSeq, s.writerID)] += int64(len(line))
+	return nil
+}
+
+// roll closes the active segment and opens the next one (caller holds mu).
+func (s *FileStore) roll() error {
+	if s.f != nil {
+		if err := s.w.Flush(); err != nil {
+			return err
+		}
+		if err := s.f.Close(); err != nil {
+			return err
+		}
+		s.f = nil
+	}
+	for {
+		s.segSeq++
+		name := segmentName(s.segSeq, s.writerID)
+		f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if os.IsExist(err) {
+			continue // another writer claimed this sequence number first
+		}
+		if err != nil {
+			return err
+		}
+		s.f = f
+		s.w = bufio.NewWriter(f)
+		s.size = 0
+		s.offsets[name] = 0
+		return nil
+	}
+}
+
+// Refresh folds in records that other writers appended to the shared
+// directory since open (or the previous Refresh): new segments, and new
+// bytes at the tail of known ones. Torn tails — a concurrent writer caught
+// mid-append — are simply left for the next Refresh. Our own appends are
+// already in memory and are skipped via the per-segment offsets.
+func (s *FileStore) Refresh() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names, err := s.segments()
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		n, err := s.replaySegment(name, s.offsets[name], false)
+		if err != nil {
+			return err
+		}
+		if n > s.offsets[name] {
+			s.offsets[name] = n
+		}
+		if seq, err := segmentSeq(name); err == nil && seq > s.segSeq && s.f == nil {
+			s.segSeq = seq // don't hide a newer writer's segments behind ours
+		}
+	}
+	return nil
 }
 
 // Get implements Store.
@@ -107,79 +368,259 @@ func (s *FileStore) ByComponent(name string) []*RunRecord { return s.mem.ByCompo
 // BySpecFamily implements Store.
 func (s *FileStore) BySpecFamily(family string) []*RunRecord { return s.mem.BySpecFamily(family) }
 
-// Close flushes and closes the log file.
+// Close flushes and closes the active segment.
 func (s *FileStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
 	if err := s.w.Flush(); err != nil {
 		s.f.Close()
 		return err
 	}
-	return s.f.Close()
+	err := s.f.Close()
+	s.f = nil
+	return err
 }
 
-// Path returns the log file's path.
-func (s *FileStore) Path() string { return s.path }
+// Path returns the store's directory path.
+func (s *FileStore) Path() string { return s.dir }
 
-// Compact rewrites the log to its current state: one line per run. The
-// compacted log is written to a temp file, synced, and atomically renamed
-// over the original — a crash at any point leaves either the old log or
-// the new one intact, never a mix. Stray temp files from an interrupted
-// compact are harmless (OpenFileStore never reads them) and are
-// overwritten by the next Compact.
+// Compact rewrites the store to its current state — one record per run —
+// as a single snapshot segment numbered above every existing one, then
+// deletes the older segments. The snapshot is written to a temp file,
+// synced, and atomically renamed into place: a crash before the rename
+// leaves only an ignorable temp file; a crash after it leaves the old
+// segments alongside the snapshot, whose higher sequence number makes
+// replay converge to the same state. Compact is maintenance for a
+// quiescent store: it garbage-collects every writer's segments, so don't
+// run it while other processes are appending.
 func (s *FileStore) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	recs := s.mem.List()
-	tmp := s.path + ".tmp"
-	f, err := os.Create(tmp)
+
+	// Make the active segment durable and let it go: it is about to be GC'd.
+	if s.f != nil {
+		if err := s.w.Flush(); err != nil {
+			return err
+		}
+		if err := s.f.Close(); err != nil {
+			return err
+		}
+		s.f = nil
+	}
+
+	old, err := s.segments()
 	if err != nil {
 		return err
 	}
+	s.segSeq++
+	snap := segmentName(s.segSeq, s.writerID)
+	var size int64
+	if size, err = writeSegment(filepath.Join(s.dir, snap), s.mem.List()); err != nil {
+		return err
+	}
+
+	for name := range s.offsets {
+		delete(s.offsets, name)
+	}
+	s.offsets[snap] = size
+	for _, name := range old {
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	// Sweep temp files from compactions that died before their rename.
+	if strays, err := filepath.Glob(filepath.Join(s.dir, segPrefix+"*"+tmpSuffix)); err == nil {
+		for _, stray := range strays {
+			os.Remove(stray)
+		}
+	}
+	syncDir(s.dir)
+
+	// Reopen the snapshot for appends so post-compact Saves keep working.
+	f, err := os.OpenFile(filepath.Join(s.dir, snap), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.size = size
+	return nil
+}
+
+// writeSegment writes recs as one framed segment via tmp+fsync+rename and
+// returns its byte size.
+func writeSegment(path string, recs []*RunRecord) (int64, error) {
+	tmp := path + tmpSuffix
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
 	w := bufio.NewWriter(f)
+	var size int64
 	for _, rec := range recs {
-		line, err := json.Marshal(rec)
+		line, err := encodeFramed(rec)
 		if err == nil {
-			_, err = w.Write(append(line, '\n'))
+			_, err = w.Write(line)
 		}
 		if err != nil {
 			f.Close()
 			os.Remove(tmp)
-			return err
+			return 0, err
 		}
+		size += int64(len(line))
 	}
-	if err := w.Flush(); err != nil {
+	if err := w.Flush(); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		return 0, err
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
-	// Drain pending appends into the old log first, so a rename failure
-	// leaves a complete (just uncompacted) original behind.
-	if err := s.w.Flush(); err != nil {
+	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
-	if err := os.Rename(tmp, s.path); err != nil {
-		os.Remove(tmp)
-		return err
+	return size, nil
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are
+// durable. Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
 	}
-	// The old handle now points at the unlinked inode; switch appends to
-	// the freshly compacted log before letting it go.
-	nf, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// --- legacy flat-log migration ---------------------------------------------
+
+// migrateFlatLog converts a single flat JSONL run log (the pre-segmented
+// format) into a segmented store directory, in place and crash-safely:
+//
+//  1. parse the flat log (tolerating an unterminated crash tail, refusing
+//     corrupt terminated lines, exactly as the old opener did),
+//  2. write its compacted state as the first segment inside
+//     path+".migrating",
+//  3. move the flat log aside to path+".legacy",
+//  4. rename the staged directory to path,
+//  5. delete the legacy file.
+//
+// recoverMigration rolls an interrupted migration forward or back on the
+// next open, so a crash at any step loses nothing.
+func migrateFlatLog(path string) error {
+	mem, err := parseFlatLog(path)
 	if err != nil {
 		return err
 	}
-	s.f.Close()
-	s.f = nf
-	s.w = bufio.NewWriter(nf)
+	staging := path + migratingSuffix
+	if err := os.RemoveAll(staging); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(staging, 0o755); err != nil {
+		return err
+	}
+	if _, err := writeSegment(filepath.Join(staging, segmentName(1, newWriterID())), mem.List()); err != nil {
+		return err
+	}
+	syncDir(staging)
+	legacy := path + legacySuffix
+	if err := os.Rename(path, legacy); err != nil {
+		return err
+	}
+	if err := os.Rename(staging, path); err != nil {
+		return err
+	}
+	if err := os.Remove(legacy); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	syncDir(filepath.Dir(path))
 	return nil
+}
+
+const (
+	migratingSuffix = ".migrating"
+	legacySuffix    = ".legacy"
+)
+
+// recoverMigration finishes or unwinds a migration that crashed partway.
+func recoverMigration(path string) error {
+	staging, legacy := path+migratingSuffix, path+legacySuffix
+	fi, err := os.Stat(path)
+	switch {
+	case err == nil && fi.IsDir():
+		// Migration completed (or never happened): sweep leftovers.
+		if err := os.RemoveAll(staging); err != nil {
+			return err
+		}
+		if err := os.Remove(legacy); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	case err == nil:
+		// path is still the flat file: any staging dir is incomplete.
+		return os.RemoveAll(staging)
+	case os.IsNotExist(err):
+		// Crashed between the two renames: roll forward if the staged
+		// directory is ready, otherwise put the flat log back.
+		if di, derr := os.Stat(staging); derr == nil && di.IsDir() {
+			if err := os.Rename(staging, path); err != nil {
+				return err
+			}
+			if err := os.Remove(legacy); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+			return nil
+		}
+		if _, lerr := os.Stat(legacy); lerr == nil {
+			return os.Rename(legacy, path)
+		}
+	default:
+		return err
+	}
+	return nil
+}
+
+// parseFlatLog replays a legacy flat JSONL log into a fresh MemStore. An
+// unterminated, unparseable final line is a crash artifact from an
+// interrupted append and is dropped; a corrupt terminated line is real
+// damage and fails the parse.
+func parseFlatLog(path string) (*MemStore, error) {
+	mem := NewMemStore()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	terminated := len(data) == 0 || data[len(data)-1] == '\n'
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	var lines [][]byte
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("histdb: %s: %w", path, err)
+	}
+	for i, raw := range lines {
+		var rec RunRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			if i == len(lines)-1 && !terminated {
+				break
+			}
+			return nil, fmt.Errorf("histdb: %s line %d: %w", path, i+1, err)
+		}
+		mem.mu.Lock()
+		mem.put(&rec)
+		mem.mu.Unlock()
+	}
+	return mem, nil
 }

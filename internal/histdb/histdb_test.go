@@ -3,6 +3,8 @@ package histdb
 import (
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -190,6 +192,36 @@ func TestOpenTolerantOfCrashTail(t *testing.T) {
 	}
 }
 
+// segmentRecords reads every framed record line across the store
+// directory's segments, in replay order.
+func segmentRecords(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "seg-") && strings.HasSuffix(e.Name(), ".log") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var lines []string
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if line != "" {
+				lines = append(lines, line)
+			}
+		}
+	}
+	return lines
+}
+
 func TestCompactCrashLeavesOriginalIntact(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "runs.jsonl")
@@ -207,14 +239,15 @@ func TestCompactCrashLeavesOriginalIntact(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	before, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
+	before := segmentRecords(t, path)
+	if len(before) != 3 {
+		t.Fatalf("lifecycle left %d records, want 3", len(before))
 	}
 
 	// Simulate a compact that crashed before the atomic rename: a truncated
-	// temp file sits next to an untouched original.
-	if err := os.WriteFile(path+".tmp", []byte(`{"id":"run-0`), 0o644); err != nil {
+	// temp file sits next to untouched segments.
+	stray := filepath.Join(path, "seg-00000042-deadbeef.log.tmp")
+	if err := os.WriteFile(stray, []byte(`{"id":"run-0`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	reopened, err := OpenFileStore(path)
@@ -225,30 +258,22 @@ func TestCompactCrashLeavesOriginalIntact(t *testing.T) {
 	if !ok || got.State != StateDone {
 		t.Fatalf("replay after interrupted compact = %+v, %v", got, ok)
 	}
-	after, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(before) != string(after) {
-		t.Fatal("interrupted compact mutated the original log")
+	if after := segmentRecords(t, path); !reflect.DeepEqual(before, after) {
+		t.Fatal("interrupted compact mutated the original segments")
 	}
 
-	// A real Compact overwrites the stray temp file and shrinks the log to
-	// one line per run.
+	// A real Compact sweeps the stray temp file and shrinks the store to
+	// one record per run.
 	if err := reopened.Compact(); err != nil {
 		t.Fatal(err)
 	}
 	if err := reopened.Close(); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
+	if recs := segmentRecords(t, path); len(recs) != 1 {
+		t.Fatalf("compacted store has %d records, want 1", len(recs))
 	}
-	if n := strings.Count(string(data), "\n"); n != 1 {
-		t.Fatalf("compacted log has %d lines, want 1", n)
-	}
-	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
 		t.Fatalf("temp file left behind after compact: %v", err)
 	}
 	final, err := OpenFileStore(path)

@@ -1,0 +1,273 @@
+package histdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSegmentRolling drives the store past its segment-size threshold and
+// checks the log rolls into multiple segments that reload to the same state.
+func TestSegmentRolling(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs")
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SegmentBytes = 256 // force frequent rolls
+	const n = 20
+	for i := 1; i <= n; i++ {
+		if err := s.Save(&RunRecord{ID: fmt.Sprintf("run-%06d", i), State: StateDone}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(path, "seg-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("store did not roll segments: %v", segs)
+	}
+	reopened, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if got := len(reopened.List()); got != n {
+		t.Fatalf("reloaded %d records, want %d", got, n)
+	}
+	if got := MaxSeq(reopened); got != n {
+		t.Fatalf("MaxSeq = %d, want %d", got, n)
+	}
+}
+
+// TestSharedDirectoryTwoWriters is the multi-writer property the segmented
+// layout exists for: two store handles on one directory append to their own
+// segments only, and Refresh folds the other writer's records in without
+// anyone rewriting anyone's history.
+func TestSharedDirectoryTwoWriters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs")
+	a, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Save(&RunRecord{ID: "run-a-000001", SpecKey: "ka", State: StateDone}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Save(&RunRecord{ID: "run-b-000001", SpecKey: "kb", State: StateDone}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before Refresh each writer sees only its own run; afterwards, both.
+	if _, ok := a.Get("run-b-000001"); ok {
+		t.Fatal("writer A saw B's record without Refresh")
+	}
+	if err := a.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*FileStore{a, b} {
+		for _, id := range []string{"run-a-000001", "run-b-000001"} {
+			if _, ok := s.Get(id); !ok {
+				t.Fatalf("record %s missing after Refresh", id)
+			}
+		}
+	}
+	// Dedup across writers flows through BySpec after Refresh.
+	if _, ok := a.BySpec("kb"); !ok {
+		t.Fatal("BySpec did not index the other writer's run")
+	}
+
+	// Each writer owns exactly its own segment files: names embed distinct
+	// writer IDs and no file was written by both.
+	segs, err := filepath.Glob(filepath.Join(path, "seg-*.log"))
+	if err != nil || len(segs) != 2 {
+		t.Fatalf("segments = %v, err %v (want 2)", segs, err)
+	}
+
+	// Continued appends after Refresh stay visible to a fresh reader.
+	if err := a.Save(&RunRecord{ID: "run-a-000002", State: StateDone}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if got := len(fresh.List()); got != 3 {
+		t.Fatalf("fresh reader sees %d records, want 3", got)
+	}
+}
+
+// TestRefreshIsIncremental checks Refresh picks up growth at the tail of a
+// segment it has already consumed, and is a no-op when nothing changed.
+func TestRefreshIsIncremental(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs")
+	w, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	r, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	for i := 1; i <= 3; i++ {
+		if err := w.Save(&RunRecord{ID: fmt.Sprintf("run-%06d", i), State: StateDone}); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(r.List()); got != i {
+			t.Fatalf("after save %d reader sees %d records", i, got)
+		}
+	}
+	if err := r.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.List()); got != 3 {
+		t.Fatalf("idle Refresh changed view to %d records", got)
+	}
+}
+
+// TestFlatLogMigration: a store written by the old single-file engine must
+// open transparently as a segmented store with identical contents, and the
+// flat file must be gone afterwards.
+func TestFlatLogMigration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	lines := []string{
+		`{"id":"run-000001","state":"running","collector_stats":{}}`,
+		`{"id":"run-000001","state":"done","collector_stats":{}}`,
+		`{"id":"run-000002","state":"failed","collector_stats":{}}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("flat log rejected: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		t.Fatalf("path not migrated to a directory: %v %v", fi, err)
+	}
+	if got, ok := s.Get("run-000001"); !ok || got.State != StateDone {
+		t.Fatalf("migrated record = %+v, %v", got, ok)
+	}
+	if got, ok := s.Get("run-000002"); !ok || got.State != StateFailed {
+		t.Fatalf("migrated record = %+v, %v", got, ok)
+	}
+	if err := s.Save(&RunRecord{ID: "run-000003", State: StateQueued}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, leftover := range []string{path + ".migrating", path + ".legacy"} {
+		if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+			t.Fatalf("migration leftover %s still present", leftover)
+		}
+	}
+	reopened, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if got := len(reopened.List()); got != 3 {
+		t.Fatalf("post-migration store has %d records, want 3", got)
+	}
+}
+
+// TestMigrationCrashRecovery drives the opener through each intermediate
+// state an interrupted migration can leave behind.
+func TestMigrationCrashRecovery(t *testing.T) {
+	flat := `{"id":"run-000001","state":"done","collector_stats":{}}` + "\n"
+
+	t.Run("staging dir with flat file still present", func(t *testing.T) {
+		// Crashed after writing the staging dir but before any rename: the
+		// stale staging dir must be discarded and migration redone.
+		path := filepath.Join(t.TempDir(), "runs.jsonl")
+		if err := os.WriteFile(path, []byte(flat), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(path+".migrating", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(path+".migrating", "seg-00000001-stale.log"), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenFileStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, ok := s.Get("run-000001"); !ok {
+			t.Fatal("record lost through redone migration")
+		}
+	})
+
+	t.Run("between the renames", func(t *testing.T) {
+		// Crashed after moving the flat log aside: the finished staging dir
+		// must roll forward and the legacy file be swept.
+		dir := t.TempDir()
+		path := filepath.Join(dir, "runs.jsonl")
+		if err := os.WriteFile(path+".legacy", []byte(flat), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		staged, err := OpenFileStore(path + ".migrating")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := staged.Save(&RunRecord{ID: "run-000001", State: StateDone}); err != nil {
+			t.Fatal(err)
+		}
+		if err := staged.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenFileStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, ok := s.Get("run-000001"); !ok {
+			t.Fatal("staged record lost rolling forward")
+		}
+		if _, err := os.Stat(path + ".legacy"); !os.IsNotExist(err) {
+			t.Fatal("legacy file not swept after roll-forward")
+		}
+	})
+
+	t.Run("legacy only", func(t *testing.T) {
+		// Pathological: the flat log was moved aside but no staging dir
+		// exists. The opener must put it back and migrate normally.
+		path := filepath.Join(t.TempDir(), "runs.jsonl")
+		if err := os.WriteFile(path+".legacy", []byte(flat), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenFileStore(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, ok := s.Get("run-000001"); !ok {
+			t.Fatal("record lost restoring legacy file")
+		}
+	})
+}

@@ -48,6 +48,12 @@ type Options struct {
 	// Build assembles the problem and algorithm for a normalized spec
 	// (default BuildSpec; tests inject instrumented problems here).
 	Build func(JobSpec) (*tuner.Problem, tuner.Algorithm, error)
+	// ReplicaID, when set, namespaces run IDs as "run-<replica>-%06d" so
+	// several Manager replicas can share one store (FileStore on a common
+	// directory) without ID collisions. Submissions also refresh a shared
+	// store before dedup, so an identical spec completed by another replica
+	// is served from the store instead of re-running.
+	ReplicaID string
 }
 
 // Metrics is a snapshot of the manager's counters — the /metrics payload.
@@ -67,11 +73,17 @@ type Metrics struct {
 	QueueDepth  int    `json:"queue_depth"`
 	Running     int    `json:"running"`
 	Workers     int    `json:"workers"`
-	// Aggregated collector cache behaviour across finished runs.
+	// Aggregated collector cache behaviour: finished runs plus a live
+	// snapshot of every run currently executing.
 	CacheHits   uint64 `json:"collector_cache_hits"`
 	CacheMisses uint64 `json:"collector_cache_misses"`
 	Coalesced   uint64 `json:"collector_coalesced"`
 	Retries     uint64 `json:"collector_retries"`
+	// Live collector gauges: distinct configurations under measurement
+	// right now across all running jobs, and the largest per-run
+	// concurrency peak among them.
+	CacheInFlight     int `json:"collector_in_flight"`
+	CacheInFlightPeak int `json:"collector_in_flight_peak"`
 }
 
 // job is one live (queued or running) run.
@@ -93,8 +105,9 @@ type Manager struct {
 	queue chan *job
 
 	mu       sync.Mutex
-	jobs     map[string]*job // live jobs by ID
-	byKey    map[string]*job // in-flight dedup by spec key
+	jobs     map[string]*job                 // live jobs by ID
+	byKey    map[string]*job                 // in-flight dedup by spec key
+	liveCols map[string]*collector.Collector // running jobs' collectors by ID
 	seq      int
 	draining bool
 
@@ -133,7 +146,8 @@ func NewManager(opts Options) *Manager {
 		queue:      make(chan *job, opts.QueueLimit),
 		jobs:       make(map[string]*job),
 		byKey:      make(map[string]*job),
-		seq:        maxSeq(opts.Store),
+		liveCols:   make(map[string]*collector.Collector),
+		seq:        histdb.MaxSeqFor(opts.Store, opts.ReplicaID),
 		rootCtx:    ctx,
 		rootCancel: cancel,
 		now:        time.Now,
@@ -147,6 +161,24 @@ func NewManager(opts Options) *Manager {
 
 // maxSeq resumes the run-ID counter past every ID already in the store.
 func maxSeq(s Store) int { return histdb.MaxSeq(s) }
+
+// runID mints this replica's run ID for sequence n.
+func (m *Manager) runID(n int) string {
+	if m.opts.ReplicaID != "" {
+		return fmt.Sprintf("run-%s-%06d", m.opts.ReplicaID, n)
+	}
+	return fmt.Sprintf("run-%06d", n)
+}
+
+// refreshStore folds in records other writers appended to a shared store,
+// so dedup and lookups see runs completed by sibling replicas. Stores
+// without a Refresh method (MemStore) are single-writer by construction.
+// Callers hold m.mu.
+func (m *Manager) refreshStore() {
+	if r, ok := m.store.(interface{ Refresh() error }); ok {
+		_ = r.Refresh()
+	}
+}
 
 // Submit admits a tuning job. The returned record is a snapshot; fresh
 // reports whether a new run was queued (false: served from the store or
@@ -163,6 +195,9 @@ func (m *Manager) Submit(spec JobSpec) (rec *RunRecord, fresh bool, err error) {
 	if m.draining {
 		return nil, false, ErrDraining
 	}
+	// On a shared store, another replica may have completed this spec since
+	// we last looked: fold its records in before deciding to re-run.
+	m.refreshStore()
 	// Warm-started specs never dedupe: their result depends on the history
 	// available when they start, so two submissions of the same warm spec
 	// are different jobs.
@@ -182,7 +217,7 @@ func (m *Manager) Submit(spec JobSpec) (rec *RunRecord, fresh bool, err error) {
 	m.seq++
 	j := &job{
 		rec: &RunRecord{
-			ID:          fmt.Sprintf("run-%06d", m.seq),
+			ID:          m.runID(m.seq),
 			Spec:        spec,
 			SpecKey:     key,
 			State:       StateQueued,
@@ -227,6 +262,7 @@ func (m *Manager) Resume(id string) (*RunRecord, error) {
 	if _, ok := m.jobs[id]; ok {
 		return nil, ErrInFlight
 	}
+	m.refreshStore() // the run may have been recorded by another replica
 	rec, ok := m.store.Get(id)
 	if !ok {
 		return nil, ErrNotFound
@@ -320,15 +356,24 @@ func (m *Manager) runJob(j *job) {
 	ck := &checkpointer{m: m, j: j, col: p.Collector()}
 	p.Observer = events.Multi(p.Observer, j.hub, ck)
 
+	// Expose the run's collector while it is live, so /metrics gauges show
+	// cache behaviour and in-flight measurement pressure in real time.
+	m.mu.Lock()
+	m.liveCols[j.rec.ID] = p.Collector()
+	m.mu.Unlock()
+
 	res, err := alg.Tune(p, j.rec.Spec.Budget)
 
 	st := p.Collector().Stats()
+	m.mu.Lock()
+	// Retire the live collector and fold its final stats into the totals in
+	// one critical section, so Metrics never sees the run twice (or not at
+	// all) during the handover.
+	delete(m.liveCols, j.rec.ID)
 	m.cacheHits.Add(st.Hits)
 	m.cacheMisses.Add(st.Misses)
 	m.coalesced.Add(st.Coalesced)
 	m.retries.Add(st.Retries)
-
-	m.mu.Lock()
 	j.rec.Collector = st
 	if err == nil {
 		// The result carries everything a resume would need.
@@ -491,9 +536,11 @@ func (m *Manager) Wait(ctx context.Context, id string) error {
 	}
 }
 
-// Metrics returns a snapshot of the manager's counters.
+// Metrics returns a snapshot of the manager's counters. Collector cache
+// totals cover finished runs plus a live snapshot of every running job;
+// the in-flight gauges come from the live collectors alone.
 func (m *Manager) Metrics() Metrics {
-	return Metrics{
+	mt := Metrics{
 		Submitted:   m.submitted.Load(),
 		Started:     m.started.Load(),
 		Finished:    m.finished.Load(),
@@ -505,11 +552,25 @@ func (m *Manager) Metrics() Metrics {
 		QueueDepth:  len(m.queue),
 		Running:     int(m.running.Load()),
 		Workers:     m.opts.Workers,
-		CacheHits:   m.cacheHits.Load(),
-		CacheMisses: m.cacheMisses.Load(),
-		Coalesced:   m.coalesced.Load(),
-		Retries:     m.retries.Load(),
 	}
+	m.mu.Lock()
+	mt.CacheHits = m.cacheHits.Load()
+	mt.CacheMisses = m.cacheMisses.Load()
+	mt.Coalesced = m.coalesced.Load()
+	mt.Retries = m.retries.Load()
+	for _, col := range m.liveCols {
+		st := col.Stats()
+		mt.CacheHits += st.Hits
+		mt.CacheMisses += st.Misses
+		mt.Coalesced += st.Coalesced
+		mt.Retries += st.Retries
+		mt.CacheInFlight += st.InFlight
+		if st.InFlightPeak > mt.CacheInFlightPeak {
+			mt.CacheInFlightPeak = st.InFlightPeak
+		}
+	}
+	m.mu.Unlock()
+	return mt
 }
 
 // Shutdown drains the manager: stop admitting, cancel every queued and

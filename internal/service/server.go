@@ -269,6 +269,8 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		"ceal_collector_cache_misses_total": float64(mt.CacheMisses),
 		"ceal_collector_coalesced_total":    float64(mt.Coalesced),
 		"ceal_collector_retries_total":      float64(mt.Retries),
+		"ceal_collector_in_flight":          float64(mt.CacheInFlight),
+		"ceal_collector_in_flight_peak":     float64(mt.CacheInFlightPeak),
 	}
 	names := make([]string, 0, len(vals))
 	for name := range vals {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"ceal/internal/cluster"
+	"ceal/internal/dispatch"
 	"ceal/internal/emews"
 	"ceal/internal/histdb"
 	"ceal/internal/live"
@@ -89,6 +90,28 @@ func BuildSpec(s JobSpec) (*tuner.Problem, tuner.Algorithm, error) {
 		p.Workers = n.Workers
 	}
 	return p, alg, nil
+}
+
+// BuildSpecRemote returns a Build function that assembles the same problem
+// as BuildSpec but dispatches its measurement batches to remote ceal-worker
+// daemons at the given URLs instead of the in-process pool. Evaluator
+// determinism makes the substitution invisible in results: a measurement's
+// value depends only on (benchmark, objective, seed, configuration), never
+// on which worker ran it, so remote runs are byte-identical to local ones.
+func BuildSpecRemote(workers []string) func(JobSpec) (*tuner.Problem, tuner.Algorithm, error) {
+	return func(s JobSpec) (*tuner.Problem, tuner.Algorithm, error) {
+		p, alg, err := BuildSpec(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		n := s.Normalize()
+		p.Dispatcher = dispatch.NewRemote(workers, dispatch.Job{
+			Benchmark: n.Benchmark,
+			Objective: n.Objective,
+			Seed:      n.Seed,
+		})
+		return p, alg, nil
+	}
 }
 
 // ComponentNames returns the benchmark's component applications in problem

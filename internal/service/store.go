@@ -32,8 +32,8 @@ type MemStore = histdb.MemStore
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore { return histdb.NewMemStore() }
 
-// FileStore is the JSONL-file-backed Store.
+// FileStore is the segmented-log-backed Store.
 type FileStore = histdb.FileStore
 
-// OpenFileStore opens (or creates) the JSONL run log at path.
+// OpenFileStore opens (or creates) the segmented run log rooted at path.
 func OpenFileStore(path string) (*FileStore, error) { return histdb.OpenFileStore(path) }

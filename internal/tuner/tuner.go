@@ -27,6 +27,7 @@ import (
 	"ceal/internal/acm"
 	"ceal/internal/cfgspace"
 	"ceal/internal/collector"
+	"ceal/internal/dispatch"
 	"ceal/internal/emews"
 	"ceal/internal/ml/xgb"
 	"ceal/internal/score"
@@ -93,6 +94,13 @@ type Problem struct {
 	Surrogate xgb.Params
 	// Runner executes measurement batches; nil means a serial runner.
 	Runner *emews.Runner
+	// Dispatcher optionally overrides the measurement substrate: when set,
+	// measurement batches are executed by it (e.g. a dispatch.Remote fanning
+	// over ceal-worker daemons) instead of running Eval in-process on
+	// Runner. The collector memoizes by configuration, not by who measured
+	// it, so results are byte-identical across substrates. nil (the
+	// default) measures in-process.
+	Dispatcher dispatch.Dispatcher
 	// Workers is the scoring parallelism: batch model inference (pool
 	// prediction, candidate ranking, recall checks) fans across this many
 	// goroutines with deterministic, index-ordered results — any width
@@ -148,7 +156,11 @@ func (p *Problem) Collector() *collector.Collector {
 	p.colMu.Lock()
 	defer p.colMu.Unlock()
 	if p.col == nil {
-		p.col = collector.New(p.Eval, p.runner())
+		if p.Dispatcher != nil {
+			p.col = collector.NewDispatcher(p.Dispatcher, p.runner())
+		} else {
+			p.col = collector.New(p.Eval, p.runner())
+		}
 	}
 	return p.col
 }

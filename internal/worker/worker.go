@@ -1,0 +1,135 @@
+// Package worker is the remote measurement daemon's engine: an HTTP
+// handler that accepts measurement shards from dispatch.Remote clients
+// (POST /v1/measure), reconstructs the deterministic simulator-backed
+// evaluator for the requested job, runs the shard on an in-process emews
+// pool, and returns values tagged with the items' sequence numbers.
+//
+// A worker holds no tuning state. The job identity in every request
+// (benchmark, objective, seed) fully determines the evaluator, so any
+// worker — or any mix of workers across retries and reassignment —
+// produces identical values for identical items. Evaluators are cached
+// per job so repeated shards of one tuning run don't rebuild the
+// benchmark each time.
+package worker
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ceal/internal/cluster"
+	"ceal/internal/dispatch"
+	"ceal/internal/emews"
+	"ceal/internal/live"
+	"ceal/internal/workflow"
+)
+
+// Server is the worker daemon's HTTP handler — cmd/ceal-worker's core.
+//
+//	POST /v1/measure  measure a shard of items for one job
+//	GET  /healthz     liveness probe
+//	GET  /metrics     Prometheus-style counters
+type Server struct {
+	mux     *http.ServeMux
+	workers int
+
+	mu    sync.Mutex
+	evals map[dispatch.Job]*live.Evaluator
+
+	requests, items, errors atomic.Uint64
+}
+
+// NewServer returns a worker serving measurement shards with the given
+// per-request parallel width (minimum 1).
+func NewServer(workers int) *Server {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Server{mux: http.NewServeMux(), workers: workers, evals: make(map[dispatch.Job]*live.Evaluator)}
+	s.mux.HandleFunc("POST "+dispatch.MeasurePath, s.measure)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// evaluator returns the (cached) deterministic evaluator for a job.
+func (s *Server) evaluator(job dispatch.Job) (*live.Evaluator, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ev, ok := s.evals[job]; ok {
+		return ev, nil
+	}
+	b, err := workflow.ByName(cluster.Default(), job.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := live.ParseObjective(job.Objective)
+	if err != nil {
+		return nil, err
+	}
+	ev := &live.Evaluator{Bench: b, Obj: obj, Seed: job.Seed}
+	s.evals[job] = ev
+	return ev, nil
+}
+
+func (s *Server) measure(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	var req dispatch.MeasureRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad measure request: %w", err))
+		return
+	}
+	ev, err := s.evaluator(req.Job)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	local := dispatch.NewLocal(ev, &emews.Runner{Workers: s.workers})
+	ms, err := local.Dispatch(r.Context(), req.Items)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.items.Add(uint64(len(ms)))
+	writeJSON(w, http.StatusOK, dispatch.MeasureResponse{Results: ms})
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.errors.Add(1)
+	writeJSON(w, status, dispatch.MeasureResponse{Error: err.Error()})
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "workers": s.workers})
+}
+
+// metrics renders the counters in Prometheus text exposition format.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	vals := map[string]float64{
+		"ceal_worker_requests_total": float64(s.requests.Load()),
+		"ceal_worker_items_total":    float64(s.items.Load()),
+		"ceal_worker_errors_total":   float64(s.errors.Load()),
+		"ceal_worker_width":          float64(s.workers),
+	}
+	names := make([]string, 0, len(vals))
+	for name := range vals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %g\n", name, vals[name])
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
