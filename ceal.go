@@ -120,6 +120,22 @@ type (
 	// Attach via Problem.Warm, or assemble one from a Store with
 	// WarmFromHistory.
 	WarmStart = tuner.WarmStart
+	// Continuous is the online-retuning driver: tune once through a
+	// time-varying (drift) environment, then monitor the incumbent and
+	// retune on confirmed platform drift. Assemble one with NewContinuous.
+	Continuous = tuner.Continuous
+	// ContinuousOptions tunes a Continuous run's monitoring cadence,
+	// drift detector, and re-exploration budget.
+	ContinuousOptions = tuner.ContinuousOptions
+	// ContinuousResult is a Continuous run's outcome: probe/retune counts,
+	// reconvergence epochs, and time-weighted cumulative regret.
+	ContinuousResult = tuner.ContinuousResult
+	// Load is an instantaneous platform condition (fabric, PFS, and
+	// memory-bandwidth contention, compute slowdown, latency inflation).
+	Load = cluster.Load
+	// LoadProfile reports the platform condition as a deterministic
+	// function of virtual time — the drift a Continuous run experiences.
+	LoadProfile = cluster.Profile
 )
 
 // WarmFromHistory assembles transfer-learning data for a spec from the
@@ -206,6 +222,25 @@ func AlgorithmByName(name string) (Algorithm, error) { return live.AlgorithmByNa
 // ObjectiveByName maps a short objective name (exec, comp, energy) to its
 // Objective.
 func ObjectiveByName(name string) (Objective, error) { return live.ParseObjective(name) }
+
+// ProfileNames lists the built-in platform drift profiles (none, step,
+// ramp, periodic, neighbor, nodeslow).
+func ProfileNames() []string { return cluster.ProfileNames() }
+
+// ParseProfile builds a named drift profile with onsets and magnitudes
+// jittered deterministically from seed.
+func ParseProfile(name string, seed uint64) (LoadProfile, error) {
+	return cluster.ParseProfile(name, seed)
+}
+
+// NewContinuous assembles a continuous (online-retuning) run over a
+// benchmark: per-epoch problems built exactly like NewProblem, a drift
+// environment following the named load profile along a virtual clock, and
+// regret accounting against the pool's per-condition best. Set Algorithm
+// (e.g. NewCEAL()) and optionally adjust Opts before calling Run.
+func NewContinuous(b *Benchmark, obj Objective, poolSize int, seed uint64, profile string, workers int) (*Continuous, error) {
+	return live.NewContinuous(b, obj, poolSize, seed, profile, workers)
+}
 
 // LiveEvaluator measures configurations by actually running the cluster
 // simulator (as opposed to the experiment harness's pre-measured pools).

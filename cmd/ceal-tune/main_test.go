@@ -97,6 +97,48 @@ func TestRunHistoryRecordsAndWarm(t *testing.T) {
 	}
 }
 
+func TestRunContinuousSmoke(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "drift.jsonl")
+	var out, errOut bytes.Buffer
+	args := []string{"-workflow", "LV", "-algorithm", "ceal", "-continuous", "-drift", "step",
+		"-budget", "12", "-pool", "60", "-probes", "60", "-seed", "1", "-trace", tracePath}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{
+		`under drift profile "step"`,
+		"initial incumbent",
+		"cumulative regret",
+		"final incumbent",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"event":"drift_confirmed"`)) {
+		t.Fatalf("trace missing drift_confirmed:\n%s", data)
+	}
+
+	// -continuous refuses the history/warm/resume machinery: a live
+	// monitoring session is not replayable.
+	errOut.Reset()
+	if code := run([]string{"-continuous", "-history", filepath.Join(t.TempDir(), "h.jsonl")}, &out, &errOut); code != 1 ||
+		!strings.Contains(errOut.String(), "-continuous is incompatible") {
+		t.Fatalf("continuous+history: exit %d, stderr %q", code, errOut.String())
+	}
+
+	// Unknown drift profile fails with the profile named.
+	errOut.Reset()
+	if code := run([]string{"-continuous", "-drift", "tsunami"}, &out, &errOut); code != 1 ||
+		!strings.Contains(errOut.String(), "tsunami") {
+		t.Fatalf("bad profile: exit %d, stderr %q", code, errOut.String())
+	}
+}
+
 func TestRunResumeErrors(t *testing.T) {
 	dbPath := filepath.Join(t.TempDir(), "history.jsonl")
 

@@ -137,7 +137,10 @@ func (s scaling) stepTime(m cluster.Machine, l Layout) float64 {
 	}
 
 	imb := 1 + s.imbAmp*math.Pow(procs/1085.0, s.imbExp)
-	return t * imb
+	// Platform load (degraded nodes, thermal throttling) scales compute
+	// uniformly; Slowdown() is exactly 1 on a nominal machine, so the
+	// static-cluster path keeps its bit patterns.
+	return t * imb * m.Slowdown()
 }
 
 // packCost returns the CPU time to stage chunkBytes through memory plus

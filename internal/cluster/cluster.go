@@ -28,6 +28,19 @@ type Machine struct {
 	PFSOpenLatency float64 // per-file-operation latency, seconds
 	IdleWatts      float64 // per-node power when allocated but idle
 	ActiveWatts    float64 // per-node power at full-core utilization
+	// ComputeSlowdown is the per-step compute multiplier imposed by the
+	// current platform load (see Load.UnderLoad); 0 means nominal speed.
+	// Read through Slowdown so the zero value stays cost-free.
+	ComputeSlowdown float64
+}
+
+// Slowdown returns the compute-time multiplier the machine currently
+// imposes: 1 on a nominal machine, >1 under degraded-node load.
+func (m Machine) Slowdown() float64 {
+	if m.ComputeSlowdown > 0 {
+		return m.ComputeSlowdown
+	}
+	return 1
 }
 
 // Default returns the paper-testbed machine model.

@@ -64,6 +64,11 @@ type Stats struct {
 	// Retries counts task relaunches performed by the runner after
 	// failures (injected or real).
 	Retries uint64 `json:"retries"`
+	// DispatchRetries counts measurement shards the dispatcher re-posted
+	// after transport failures — nonzero only for transports that track
+	// them (dispatch.Remote). Distinct from Retries, which counts
+	// worker-side task relaunches.
+	DispatchRetries uint64 `json:"dispatch_retries,omitempty"`
 	// Errors counts batches that failed (retries exhausted or context
 	// cancelled).
 	Errors uint64 `json:"errors"`
@@ -147,13 +152,19 @@ func NewDispatcher(disp dispatch.Dispatcher, runner *emews.Runner) *Collector {
 // Runner exposes the collector's runner (parallel width and retry policy).
 func (c *Collector) Runner() *emews.Runner { return c.runner }
 
+// ShardRetryCounter is implemented by dispatchers that track transport-level
+// shard resends (dispatch.Remote); Stats folds the count in when present.
+type ShardRetryCounter interface {
+	DispatchRetries() uint64
+}
+
 // Stats returns a snapshot of the collector's counters.
 func (c *Collector) Stats() Stats {
 	c.mu.Lock()
 	inFlight := len(c.inflight)
 	peak := c.inflightPeak
 	c.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Hits:          c.hits.Load(),
 		Misses:        c.misses.Load(),
 		Coalesced:     c.coalesced.Load(),
@@ -164,6 +175,10 @@ func (c *Collector) Stats() Stats {
 		InFlight:      inFlight,
 		InFlightPeak:  peak,
 	}
+	if rc, ok := c.disp.(ShardRetryCounter); ok {
+		st.DispatchRetries = rc.DispatchRetries()
+	}
+	return st
 }
 
 // Snapshot returns the cache's scalar measurements keyed by cache key —

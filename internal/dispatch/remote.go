@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"ceal/internal/emews"
@@ -82,7 +83,17 @@ type Remote struct {
 	// FailureRate injects simulated shard-send failures (emews fault
 	// model) for tests; 0 disables.
 	FailureRate float64
+
+	// retries counts shard re-posts after transport failures over the
+	// dispatcher's lifetime; see DispatchRetries.
+	retries atomic.Uint64
 }
+
+// DispatchRetries returns how many measurement shards were re-posted after
+// transport failures (worker down, network error, non-200 reply) since the
+// dispatcher was created — the transport-health counter surfaced on
+// /metrics as ceal_dispatch_retries_total.
+func (r *Remote) DispatchRetries() uint64 { return r.retries.Load() }
 
 // NewRemote returns a Remote dispatcher posting job's batches to the given
 // worker base URLs.
@@ -130,6 +141,9 @@ func (r *Remote) Dispatch(ctx context.Context, batch []Item) ([]Measurement, err
 		lo, hi := s*len(batch)/nshards, (s+1)*len(batch)/nshards
 		shard := batch[lo:hi]
 		jobs[s] = func(attempt int) ([]Measurement, error) {
+			if attempt > 0 {
+				r.retries.Add(1)
+			}
 			worker := r.Workers[(s+attempt)%len(r.Workers)]
 			ms, err := r.post(ctx, worker, shard)
 			if err != nil {

@@ -1,0 +1,274 @@
+// Package drift is the online-retuning substrate: it makes platform drift
+// observable and reproducible. Real in-situ workflows run for days while
+// the machine changes underneath them — background fabric traffic, neighbor
+// jobs arriving and leaving, nodes degrading — so a configuration tuned at
+// hour 0 is stale by hour 10.
+//
+// Two pieces live here:
+//
+//   - Env is a dispatch.Dispatcher over the cluster simulator whose
+//     machine condition follows a cluster.Profile along a virtual clock.
+//     The clock advances by measurement cost (normalized to a reference
+//     configuration's zero-load cost, the time "unit"), so drift unfolds
+//     as a deterministic function of what the tuner chose to measure —
+//     reproducible per (seed, profile) at any worker count.
+//   - Detector is a windowed residual monitor over probe measurements of
+//     the incumbent configuration: predicted-vs-observed error with either
+//     a relative-residual trigger or a Page-Hinkley cumulative test,
+//     escalating None → Suspected → Confirmed. It generalizes the switch
+//     detector CEAL Phase-2/3 already uses for model selection.
+//
+// tuner.Continuous drives both: it tunes once through the Env, then probes
+// the incumbent at a cadence, and on a confirmed drift re-explores with a
+// bounded, warm-started budget.
+package drift
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"ceal/internal/cfgspace"
+	"ceal/internal/cluster"
+	"ceal/internal/dispatch"
+	"ceal/internal/emews"
+)
+
+// maxAdvancePerItem caps how far one measurement can push the virtual
+// clock (in units). Pool configurations vary over orders of magnitude; an
+// uncapped pathological config could leap the clock past a profile's whole
+// drift window mid-tune, which would make experiment timescales hostage to
+// pool sampling.
+const maxAdvancePerItem = 10.0
+
+// Env is the time-varying measurement environment: a dispatch.Dispatcher
+// whose evaluator follows a drift profile along a virtual clock. The load
+// is frozen per dispatched batch (measurements inside one batch run
+// concurrently on the real machine, so they see one platform condition),
+// then the clock advances by the batch's summed normalized cost — making
+// results independent of worker count and batch arrival order.
+type Env struct {
+	// Build constructs an evaluator for one platform condition. It must be
+	// pure: the same Load yields an equivalent evaluator (Env memoizes per
+	// condition).
+	build   func(ld cluster.Load) dispatch.Evaluator
+	profile cluster.Profile
+	// Runner executes batches in-process; nil means serial.
+	Runner *emews.Runner
+
+	mu    sync.Mutex
+	clock float64
+	unit  float64
+	cache map[cluster.Load]dispatch.Evaluator
+}
+
+// NewEnv builds an environment over a profile. ref is the reference
+// configuration whose zero-load cost defines the clock unit; measuring it
+// does not advance the clock.
+func NewEnv(build func(ld cluster.Load) dispatch.Evaluator, profile cluster.Profile, ref cfgspace.Config) (*Env, error) {
+	if build == nil || profile == nil {
+		return nil, fmt.Errorf("drift: NewEnv needs a builder and a profile")
+	}
+	e := &Env{build: build, profile: profile, cache: make(map[cluster.Load]dispatch.Evaluator)}
+	unit, err := e.evaluator(cluster.Load{}).MeasureWorkflow(ref)
+	if err != nil {
+		return nil, fmt.Errorf("drift: measuring reference configuration: %w", err)
+	}
+	if unit <= 0 {
+		return nil, fmt.Errorf("drift: reference configuration cost %g must be positive", unit)
+	}
+	e.unit = unit
+	return e, nil
+}
+
+// Profile returns the environment's drift profile.
+func (e *Env) Profile() cluster.Profile { return e.profile }
+
+// Unit returns the clock unit: the reference configuration's zero-load cost.
+func (e *Env) Unit() float64 { return e.unit }
+
+// Clock returns the current virtual time in units.
+func (e *Env) Clock() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.clock
+}
+
+// Load returns the platform condition at the current virtual time.
+func (e *Env) Load() cluster.Load {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.profile.At(e.clock)
+}
+
+// Advance moves the virtual clock forward by dt units without measuring —
+// production time passing between monitoring probes.
+func (e *Env) Advance(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	e.mu.Lock()
+	e.clock += dt
+	e.mu.Unlock()
+}
+
+// evaluator returns the memoized evaluator for one platform condition.
+func (e *Env) evaluator(ld cluster.Load) dispatch.Evaluator {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evaluatorLocked(ld)
+}
+
+func (e *Env) evaluatorLocked(ld cluster.Load) dispatch.Evaluator {
+	ev, ok := e.cache[ld]
+	if !ok {
+		// Every evaluator in this repository is deterministic per
+		// configuration, so memoizing per (load, configuration) is
+		// semantically transparent — it mainly spares the oracle peeks,
+		// which revisit the same configurations at every probe.
+		ev = &memoEval{ev: e.build(ld), vals: make(map[string]float64)}
+		e.cache[ld] = ev
+	}
+	return ev
+}
+
+// memoEval caches an evaluator's measurements per configuration key. Safe
+// for concurrent use; duplicate concurrent computations of one key are
+// tolerated (deterministic values make them harmless).
+type memoEval struct {
+	ev   dispatch.Evaluator
+	mu   sync.Mutex
+	vals map[string]float64
+}
+
+func (m *memoEval) get(key string) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.vals[key]
+	return v, ok
+}
+
+func (m *memoEval) put(key string, v float64) {
+	m.mu.Lock()
+	m.vals[key] = v
+	m.mu.Unlock()
+}
+
+func (m *memoEval) MeasureWorkflow(cfg cfgspace.Config) (float64, error) {
+	key := "w:" + cfg.Key()
+	if v, ok := m.get(key); ok {
+		return v, nil
+	}
+	v, err := m.ev.MeasureWorkflow(cfg)
+	if err == nil {
+		m.put(key, v)
+	}
+	return v, err
+}
+
+func (m *memoEval) MeasureComponent(j int, cfg cfgspace.Config) (float64, error) {
+	key := fmt.Sprintf("c%d:fixed", j)
+	if cfg != nil {
+		key = fmt.Sprintf("c%d:%s", j, cfg.Key())
+	}
+	if v, ok := m.get(key); ok {
+		return v, nil
+	}
+	v, err := m.ev.MeasureComponent(j, cfg)
+	if err == nil {
+		m.put(key, v)
+	}
+	return v, err
+}
+
+// advanceOf converts one measured value to a clock advance, capped so a
+// single pathological configuration cannot leap past a drift window.
+func (e *Env) advanceOf(v float64) float64 {
+	adv := v / e.unit
+	if adv < 0 {
+		adv = 0
+	}
+	if adv > maxAdvancePerItem {
+		adv = maxAdvancePerItem
+	}
+	return adv
+}
+
+// Dispatch implements dispatch.Dispatcher: the batch runs under the load
+// frozen at the current clock, then the clock advances by the batch's
+// slowest item. Tuning trial runs execute side-by-side on the measurement
+// plane, so a batch costs one wave of wall-clock time; the advance is a
+// max over normalized item costs, which keeps the clock independent of
+// both worker count and completion order.
+func (e *Env) Dispatch(ctx context.Context, batch []dispatch.Item) ([]dispatch.Measurement, error) {
+	e.mu.Lock()
+	ev := e.evaluatorLocked(e.profile.At(e.clock))
+	e.mu.Unlock()
+
+	ms, err := (&dispatch.Local{Eval: ev, Runner: e.Runner}).Dispatch(ctx, batch)
+	if err != nil {
+		return nil, err
+	}
+	vals, _, err := dispatch.ByIndex(batch, ms)
+	if err != nil {
+		return nil, err
+	}
+	adv := 0.0
+	for _, v := range vals {
+		if a := e.advanceOf(v); a > adv {
+			adv = a
+		}
+	}
+	e.mu.Lock()
+	e.clock += adv
+	e.mu.Unlock()
+	return ms, nil
+}
+
+// Probe measures one workflow configuration at the current condition and
+// advances the clock by its cost — the continuous driver's monitoring
+// measurement. It bypasses any collector cache by design: a probe exists
+// to observe the platform *now*, not a memoized past.
+func (e *Env) Probe(ctx context.Context, cfg cfgspace.Config) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	ev := e.evaluatorLocked(e.profile.At(e.clock))
+	e.mu.Unlock()
+	v, err := ev.MeasureWorkflow(cfg)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	e.clock += e.advanceOf(v)
+	e.mu.Unlock()
+	return v, nil
+}
+
+// Peek measures one configuration at the current condition without
+// advancing the clock — counterfactual observation for regret accounting.
+func (e *Env) Peek(cfg cfgspace.Config) (float64, error) {
+	return e.evaluator(e.Load()).MeasureWorkflow(cfg)
+}
+
+// PeekBest returns the best (lowest) value over cfgs at the current
+// condition, without advancing the clock — the oracle the continuous
+// driver charges regret against.
+func (e *Env) PeekBest(cfgs []cfgspace.Config) (float64, int, error) {
+	if len(cfgs) == 0 {
+		return 0, -1, fmt.Errorf("drift: PeekBest needs at least one configuration")
+	}
+	ev := e.evaluator(e.Load())
+	best, bestIdx := 0.0, -1
+	for i, cfg := range cfgs {
+		v, err := ev.MeasureWorkflow(cfg)
+		if err != nil {
+			return 0, -1, err
+		}
+		if bestIdx < 0 || v < best {
+			best, bestIdx = v, i
+		}
+	}
+	return best, bestIdx, nil
+}

@@ -1,0 +1,262 @@
+package drift
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"ceal/internal/cfgspace"
+	"ceal/internal/cluster"
+	"ceal/internal/dispatch"
+	"ceal/internal/emews"
+)
+
+// stubEval costs cfg[0] scaled by (1 + compute slowdown) — a transparent
+// stand-in for the simulator whose response to load is exactly known.
+type stubEval struct{ scale float64 }
+
+func (s stubEval) MeasureWorkflow(cfg cfgspace.Config) (float64, error) {
+	return s.scale * float64(cfg[0]), nil
+}
+
+func (s stubEval) MeasureComponent(j int, cfg cfgspace.Config) (float64, error) {
+	return s.scale, nil
+}
+
+// stepAt5 is a test profile: nominal before virtual time 5, doubled compute
+// cost after.
+type stepAt5 struct{}
+
+func (stepAt5) Name() string { return "stepAt5" }
+func (stepAt5) At(t float64) cluster.Load {
+	if t < 5 {
+		return cluster.Load{}
+	}
+	return cluster.Load{ComputeSlowdown: 1}
+}
+
+func newTestEnv(t *testing.T, prof cluster.Profile) *Env {
+	t.Helper()
+	build := func(ld cluster.Load) dispatch.Evaluator {
+		return stubEval{scale: 1 + ld.ComputeSlowdown}
+	}
+	env, err := NewEnv(build, prof, cfgspace.Config{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestEnvClockAdvancesByProbeCost(t *testing.T) {
+	env := newTestEnv(t, stepAt5{})
+	if env.Unit() != 1 {
+		t.Fatalf("unit = %v, want 1", env.Unit())
+	}
+	if env.Clock() != 0 {
+		t.Fatalf("fresh clock = %v", env.Clock())
+	}
+	v, err := env.Probe(context.Background(), cfgspace.Config{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 || env.Clock() != 2 {
+		t.Fatalf("probe = %v, clock = %v; want 2, 2", v, env.Clock())
+	}
+	// Cross the step: idle time passes, then the same configuration costs
+	// double (and advances the clock by its doubled cost).
+	env.Advance(4)
+	v, err = env.Probe(context.Background(), cfgspace.Config{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 4 {
+		t.Fatalf("post-step probe = %v, want 4", v)
+	}
+	if env.Clock() != 10 {
+		t.Fatalf("clock = %v, want 10", env.Clock())
+	}
+}
+
+func TestEnvPeekDoesNotAdvanceClock(t *testing.T) {
+	env := newTestEnv(t, stepAt5{})
+	before := env.Clock()
+	for i := 0; i < 3; i++ {
+		if _, err := env.Peek(cfgspace.Config{7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if env.Clock() != before {
+		t.Fatalf("Peek moved the clock: %v -> %v", before, env.Clock())
+	}
+	best, idx, err := env.PeekBest([]cfgspace.Config{{3}, {2}, {9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 2 || idx != 1 {
+		t.Fatalf("PeekBest = %v (idx %d), want 2 (idx 1)", best, idx)
+	}
+	if env.Clock() != before {
+		t.Fatalf("PeekBest moved the clock: %v -> %v", before, env.Clock())
+	}
+}
+
+func TestEnvDispatchAdvancesByBatchMax(t *testing.T) {
+	// A batch is one wave on the measurement plane: the clock must advance
+	// by the slowest item, not the sum — at any worker count.
+	for _, workers := range []int{1, 4} {
+		env := newTestEnv(t, stepAt5{})
+		if workers > 1 {
+			env.Runner = &emews.Runner{Workers: workers}
+		}
+		batch := []dispatch.Item{
+			{Seq: 0, Kind: dispatch.KindWorkflow, Cfg: cfgspace.Config{3}},
+			{Seq: 1, Kind: dispatch.KindWorkflow, Cfg: cfgspace.Config{2}},
+		}
+		ms, err := env.Dispatch(context.Background(), batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != 2 {
+			t.Fatalf("got %d measurements", len(ms))
+		}
+		if env.Clock() != 3 {
+			t.Fatalf("workers=%d: clock = %v after batch, want max cost 3", workers, env.Clock())
+		}
+	}
+}
+
+func TestEnvAdvanceCapped(t *testing.T) {
+	env := newTestEnv(t, stepAt5{})
+	if _, err := env.Probe(context.Background(), cfgspace.Config{1000}); err != nil {
+		t.Fatal(err)
+	}
+	if env.Clock() != maxAdvancePerItem {
+		t.Fatalf("pathological probe advanced clock to %v, want cap %v", env.Clock(), maxAdvancePerItem)
+	}
+}
+
+func TestEnvDeterministicPerSeedProfile(t *testing.T) {
+	// Two environments over the same (seed, profile) must produce the same
+	// value and clock sequence.
+	for _, name := range cluster.ProfileNames() {
+		run := func() (vals []float64, clocks []float64) {
+			prof, err := cluster.ParseProfile(name, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env := newTestEnv(t, prof)
+			for i := 0; i < 8; i++ {
+				env.Advance(30)
+				v, err := env.Probe(context.Background(), cfgspace.Config{2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				vals = append(vals, v)
+				clocks = append(clocks, env.Clock())
+			}
+			return vals, clocks
+		}
+		v1, c1 := run()
+		v2, c2 := run()
+		for i := range v1 {
+			if v1[i] != v2[i] || c1[i] != c2[i] {
+				t.Fatalf("profile %s: replay diverged at probe %d: (%v,%v) vs (%v,%v)",
+					name, i, v1[i], c1[i], v2[i], c2[i])
+			}
+		}
+	}
+}
+
+func TestProfileJitterVariesWithSeed(t *testing.T) {
+	// The step profile's onset is jittered from the seed; two seeds should
+	// not produce identical onsets (deterministic jitter, not a constant).
+	loadAt := func(seed uint64, t0 float64) cluster.Load {
+		prof, err := cluster.ParseProfile("step", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prof.At(t0)
+	}
+	same := true
+	for _, t0 := range []float64{100, 110, 120, 130, 140} {
+		if loadAt(1, t0) != loadAt(2, t0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("step profiles for seeds 1 and 2 are indistinguishable; jitter not applied")
+	}
+}
+
+func TestUnderLoadZeroIsBitwiseIdentity(t *testing.T) {
+	m := cluster.Default()
+	if got := m.UnderLoad(cluster.Load{}); got != m {
+		t.Fatalf("UnderLoad(zero) changed the machine: %+v vs %+v", got, m)
+	}
+}
+
+func TestDetectorRelativeMode(t *testing.T) {
+	d := NewDetector(Config{Threshold: 0.2, Confirm: 2})
+	d.Reset(10)
+	if v, _ := d.Observe(10.5); v != None {
+		t.Fatalf("in-band probe: %v, want none", v)
+	}
+	if v, _ := d.Observe(13); v != Suspected {
+		t.Fatalf("first out-of-band probe: %v, want suspected", v)
+	}
+	// An in-band probe resets the streak.
+	if v, _ := d.Observe(10.2); v != None {
+		t.Fatalf("recovered probe: %v, want none", v)
+	}
+	if v, _ := d.Observe(13); v != Suspected {
+		t.Fatalf("streak must restart after recovery")
+	}
+	v, res := d.Observe(14)
+	if v != Confirmed {
+		t.Fatalf("second consecutive out-of-band probe: %v, want confirmed", v)
+	}
+	if math.Abs(res-0.4) > 1e-12 {
+		t.Fatalf("residual = %v, want 0.4", res)
+	}
+	// Improvements (negative residuals) confirm too: the platform changed.
+	d.Reset(10)
+	d.Observe(7)
+	if v, res := d.Observe(7); v != Confirmed || res >= 0 {
+		t.Fatalf("improvement drift: %v (residual %v), want confirmed negative", v, res)
+	}
+}
+
+func TestDetectorPageHinkleyCatchesSlowRamp(t *testing.T) {
+	// A 5% per-probe creep never exceeds a 15% relative threshold against a
+	// re-anchoring baseline... but here the baseline is fixed, so what PH
+	// buys is confirmation without Confirm consecutive large excursions.
+	rel := NewDetector(Config{Mode: ModeRelative, Threshold: 0.5, Confirm: 3})
+	ph := NewDetector(Config{Mode: ModePageHinkley, Delta: 0.02, Lambda: 0.6})
+	rel.Reset(10)
+	ph.Reset(10)
+	relConfirmed, phConfirmed := false, false
+	v := 10.0
+	for i := 0; i < 8; i++ {
+		v *= 1.05
+		if verdict, _ := rel.Observe(v); verdict == Confirmed {
+			relConfirmed = true
+		}
+		if verdict, _ := ph.Observe(v); verdict == Confirmed {
+			phConfirmed = true
+		}
+	}
+	if relConfirmed {
+		t.Fatal("relative detector with a 50% threshold should not confirm a 5%/probe ramp this early")
+	}
+	if !phConfirmed {
+		t.Fatal("Page-Hinkley should accumulate the ramp into a confirmation")
+	}
+	// A flat signal never confirms.
+	flat := NewDetector(Config{Mode: ModePageHinkley})
+	flat.Reset(10)
+	for i := 0; i < 100; i++ {
+		if verdict, _ := flat.Observe(10); verdict != None {
+			t.Fatalf("flat signal raised %v at probe %d", verdict, i)
+		}
+	}
+}

@@ -70,6 +70,11 @@ type RunRecord struct {
 	// measured Samples and ComponentSamples that warm-start consumers train
 	// on.
 	Result *tuner.Result `json:"result,omitempty"`
+	// Continuous is the continuous-mode outcome summary (done continuous
+	// runs only): probe/retune counts, per-epoch reconvergence, and the
+	// time-weighted cumulative regret. Result holds the final epoch's
+	// tuning result.
+	Continuous *tuner.ContinuousResult `json:"continuous,omitempty"`
 	// Error is the failure or cancellation cause (failed/cancelled runs).
 	Error string `json:"error,omitempty"`
 	// Trace is the run's full event stream as marshaled JSONL lines (the

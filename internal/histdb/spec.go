@@ -9,6 +9,16 @@ import (
 const (
 	DefaultBudget = 50
 	DefaultPool   = 2000
+	// DefaultProbes is the monitoring-probe count Normalize applies to
+	// continuous-mode specs.
+	DefaultProbes = 60
+)
+
+// Run modes. A tune run is the one-shot paper scenario; a continuous run
+// keeps monitoring the incumbent under a drift profile and retunes online.
+const (
+	ModeTune       = "tune"
+	ModeContinuous = "continuous"
 )
 
 // Spec describes one tuning job: which benchmark workflow to tune, with
@@ -46,6 +56,25 @@ type Spec struct {
 	// state at admission, so WarmStart is part of Key (warm and cold runs
 	// never dedupe against each other) but not of FamilyKey.
 	WarmStart bool `json:"warm_start,omitempty"`
+	// Mode selects the run type: "tune" (default) is the one-shot tuning
+	// run; "continuous" keeps the run alive after convergence, monitoring
+	// the incumbent under the Drift profile and retuning online on
+	// confirmed drift (tuner.Continuous over internal/drift).
+	Mode string `json:"mode,omitempty"`
+	// Drift names the platform-load profile a continuous run monitors
+	// under (see cluster.ProfileNames; default "none", the constant
+	// profile). Ignored for tune runs.
+	Drift string `json:"drift,omitempty"`
+	// Probes is a continuous run's monitoring-probe count after initial
+	// convergence (default DefaultProbes). Ignored for tune runs.
+	Probes int `json:"probes,omitempty"`
+	// Dedup explicitly requests dedup-join semantics — serving an
+	// identical completed spec from the store, or joining an in-flight
+	// identical run. It is the default for tune runs, so setting it there
+	// is a no-op; continuous runs are never dedup-joinable (they monitor a
+	// live platform from admission onward), so a continuous spec with
+	// Dedup set is rejected by validation.
+	Dedup bool `json:"dedup,omitempty"`
 }
 
 // Normalize returns the spec with names canonicalized (benchmark upper,
@@ -74,6 +103,24 @@ func (s Spec) Normalize() Spec {
 	if s.Workers <= 0 {
 		s.Workers = 1
 	}
+	s.Mode = strings.ToLower(strings.TrimSpace(s.Mode))
+	if s.Mode == "" {
+		s.Mode = ModeTune
+	}
+	s.Drift = strings.ToLower(strings.TrimSpace(s.Drift))
+	if s.Mode == ModeContinuous {
+		if s.Drift == "" {
+			s.Drift = "none"
+		}
+		if s.Probes <= 0 {
+			s.Probes = DefaultProbes
+		}
+	} else {
+		// Drift and probes are continuous-mode knobs; clearing them on tune
+		// specs keeps spec keys (and hence dedup identity) stable.
+		s.Drift = ""
+		s.Probes = 0
+	}
 	return s
 }
 
@@ -84,6 +131,11 @@ func (s Spec) Normalize() Spec {
 func (s Spec) Key() string {
 	n := s.Normalize()
 	k := fmt.Sprintf("%s/%s/%s/b%d/p%d/s%d", n.Benchmark, n.Algorithm, n.Objective, n.Budget, n.Pool, n.Seed)
+	if n.Mode == ModeContinuous {
+		// Continuous runs never dedupe, but the key still identifies the run
+		// in the store; tune keys stay byte-identical to earlier releases.
+		k += fmt.Sprintf("/continuous/%s/pr%d", n.Drift, n.Probes)
+	}
 	if n.WarmStart {
 		k += "/warm"
 	}
@@ -97,7 +149,15 @@ func (s Spec) Key() string {
 // valid training data for each other. Pool size stays in the key because
 // the candidate pool (and hence the measured configurations' provenance)
 // derives from it.
+//
+// Continuous runs form their own families: their final-epoch samples were
+// measured under drifted platform conditions, so they must never feed warm
+// starts for static tune runs (or vice versa).
 func (s Spec) FamilyKey() string {
 	n := s.Normalize()
-	return fmt.Sprintf("%s/%s/%s/p%d", n.Benchmark, n.Algorithm, n.Objective, n.Pool)
+	k := fmt.Sprintf("%s/%s/%s/p%d", n.Benchmark, n.Algorithm, n.Objective, n.Pool)
+	if n.Mode == ModeContinuous {
+		k += "/continuous"
+	}
+	return k
 }

@@ -53,6 +53,7 @@ func All() []Experiment {
 		{"conv", "Convergence: per-iteration best-so-far trajectories from the run-event trace (LV computer time, 50 samples)", []string{"LV"}, runConvergence},
 		{"warm", "Warm start: cold vs warm CEAL measurements-to-target, transfer learning from the history DB (all workflows, computer time)", []string{"LV", "HS", "GP"}, runWarm},
 		{"ablation", "Ablations: combiner choice, model switch, bias escape, ensembles, BO", []string{"LV"}, runAblations},
+		{"drift", "Drift: tune-once vs online retuning cumulative regret under time-varying platform load (all workflows, computer time)", nil, runDrift},
 	}
 }
 

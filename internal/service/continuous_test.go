@@ -1,0 +1,184 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ceal/internal/histdb"
+)
+
+// contSpec is a continuous-mode spec small enough for test-speed runs whose
+// step drift still lands inside the monitoring window.
+func contSpec() JobSpec {
+	return JobSpec{
+		Benchmark: "LV", Algorithm: "ceal", Objective: "comp",
+		Budget: 12, Pool: 60, Seed: 1,
+		Mode: histdb.ModeContinuous, Drift: "step", Probes: 60,
+	}
+}
+
+func TestServerRejectsContinuousDedup(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	spec := contSpec()
+	spec.Dedup = true
+	resp, body := postJSON(t, ts.URL+"/v1/runs", spec)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("continuous+dedup POST = %d, want 400: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "dedup") {
+		t.Fatalf("400 body does not explain the dedup rejection: %s", body)
+	}
+
+	spec = contSpec()
+	spec.WarmStart = true
+	if resp, body := postJSON(t, ts.URL+"/v1/runs", spec); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("continuous+warm POST = %d, want 400: %s", resp.StatusCode, body)
+	}
+
+	spec = contSpec()
+	spec.Drift = "tsunami"
+	if resp, body := postJSON(t, ts.URL+"/v1/runs", spec); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown profile POST = %d, want 400: %s", resp.StatusCode, body)
+	}
+
+	spec = JobSpec{Benchmark: "LV", Mode: "forever"}
+	if resp, body := postJSON(t, ts.URL+"/v1/runs", spec); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown mode POST = %d, want 400: %s", resp.StatusCode, body)
+	}
+
+	// A tune spec with the dedup flag is the default behaviour spelled out:
+	// accepted.
+	tune := JobSpec{Benchmark: "LV", Budget: 8, Pool: 40, Seed: 2, Dedup: true}
+	if resp, body := postJSON(t, ts.URL+"/v1/runs", tune); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("tune+dedup POST = %d, want 201: %s", resp.StatusCode, body)
+	}
+}
+
+// TestServerContinuousRunStreamsDriftEvents is the serve-surface acceptance
+// criterion: a continuous run under a step profile streams drift_confirmed
+// followed by reconverged, finishes with a continuous summary, never
+// dedupes, and is not resumable.
+func TestServerContinuousRunStreamsDriftEvents(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	resp, body := postJSON(t, ts.URL+"/v1/runs", contSpec())
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST = %d: %s", resp.StatusCode, body)
+	}
+	var sub struct {
+		RunRecord
+		Deduped bool `json:"deduped"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	rec := pollDone(t, ts, sub.ID)
+	if rec.State != StateDone {
+		t.Fatalf("state = %s (%s)", rec.State, rec.Error)
+	}
+	if rec.Continuous == nil {
+		t.Fatal("done continuous run has no continuous summary")
+	}
+	if rec.Continuous.Retunes+rec.Continuous.Switchbacks == 0 {
+		t.Fatal("step profile triggered no reaction (no retunes or switchbacks)")
+	}
+	if rec.Result == nil {
+		t.Fatal("continuous record carries no final tuning result")
+	}
+
+	// The persisted trace (and hence the SSE replay) must show the
+	// continuous sequence: a confirmed drift, then a reconvergence after it.
+	confirmedAt, reconvergedAt := -1, -1
+	for i, line := range rec.Trace {
+		var ev struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("trace line %d: %v", i, err)
+		}
+		switch ev.Event {
+		case "drift_confirmed":
+			if confirmedAt < 0 {
+				confirmedAt = i
+			}
+		case "reconverged":
+			if reconvergedAt < 0 {
+				reconvergedAt = i
+			}
+		}
+	}
+	if confirmedAt < 0 || reconvergedAt < 0 || reconvergedAt < confirmedAt {
+		t.Fatalf("trace lacks drift_confirmed -> reconverged sequence (confirmed at %d, reconverged at %d)",
+			confirmedAt, reconvergedAt)
+	}
+
+	// The SSE endpoint replays the same lines.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/runs/"+sub.ID+"/events?follow=false", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	sresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	buf := new(strings.Builder)
+	if _, err := io.Copy(buf, sresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.String()
+	ci := strings.Index(stream, `"event":"drift_confirmed"`)
+	ri := strings.LastIndex(stream, `"event":"reconverged"`)
+	if ci < 0 || ri < 0 || ri < ci {
+		t.Fatalf("SSE stream lacks drift_confirmed -> reconverged (at %d, %d)", ci, ri)
+	}
+
+	// Identical continuous spec: a fresh run, never a dedup join.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/runs", contSpec())
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("second continuous POST = %d, want 201 (fresh): %s", resp2.StatusCode, body2)
+	}
+	var sub2 struct {
+		RunRecord
+		Deduped bool `json:"deduped"`
+	}
+	if err := json.Unmarshal(body2, &sub2); err != nil {
+		t.Fatal(err)
+	}
+	if sub2.Deduped || sub2.ID == sub.ID {
+		t.Fatalf("continuous resubmission deduped (id %s vs %s)", sub2.ID, sub.ID)
+	}
+	pollDone(t, ts, sub2.ID)
+
+	// Continuous runs are never resumable.
+	rresp, rbody := postJSON(t, ts.URL+"/v1/runs/"+sub.ID+"/resume", nil)
+	if rresp.StatusCode != http.StatusConflict {
+		t.Fatalf("resume of continuous run = %d, want 409: %s", rresp.StatusCode, rbody)
+	}
+}
+
+func TestSpecKeyContinuousExtension(t *testing.T) {
+	tune := JobSpec{Benchmark: "LV", Budget: 12, Pool: 60, Seed: 1}
+	if k := tune.Key(); strings.Contains(k, "continuous") {
+		t.Fatalf("tune key %q mentions continuous", k)
+	}
+	cont := contSpec()
+	k := cont.Key()
+	if !strings.Contains(k, "/continuous/step/pr60") {
+		t.Fatalf("continuous key %q lacks mode extension", k)
+	}
+	if fk := cont.FamilyKey(); !strings.HasSuffix(fk, "/continuous") {
+		t.Fatalf("continuous family key %q does not isolate the mode", fk)
+	}
+	// Drift knobs on a tune spec are cleared by Normalize, keeping legacy
+	// keys stable.
+	noisy := JobSpec{Benchmark: "LV", Budget: 12, Pool: 60, Seed: 1, Drift: "step", Probes: 99}
+	if noisy.Key() != tune.Key() {
+		t.Fatalf("tune key unstable under stray drift fields: %q vs %q", noisy.Key(), tune.Key())
+	}
+}

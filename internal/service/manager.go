@@ -48,6 +48,9 @@ type Options struct {
 	// Build assembles the problem and algorithm for a normalized spec
 	// (default BuildSpec; tests inject instrumented problems here).
 	Build func(JobSpec) (*tuner.Problem, tuner.Algorithm, error)
+	// BuildContinuous assembles the online-retuning driver for a
+	// continuous-mode spec (default BuildContinuousSpec).
+	BuildContinuous func(JobSpec) (*tuner.Continuous, error)
 	// ReplicaID, when set, namespaces run IDs as "run-<replica>-%06d" so
 	// several Manager replicas can share one store (FileStore on a common
 	// directory) without ID collisions. Submissions also refresh a shared
@@ -79,6 +82,10 @@ type Metrics struct {
 	CacheMisses uint64 `json:"collector_cache_misses"`
 	Coalesced   uint64 `json:"collector_coalesced"`
 	Retries     uint64 `json:"collector_retries"`
+	// DispatchRetries counts remote measurement shards that were re-posted
+	// after transport failures (dispatch.Remote) — transport health for
+	// long-running drift-mode deployments.
+	DispatchRetries uint64 `json:"dispatch_retries"`
 	// Live collector gauges: distinct configurations under measurement
 	// right now across all running jobs, and the largest per-run
 	// concurrency peak among them.
@@ -121,6 +128,7 @@ type Manager struct {
 	running                      atomic.Int64
 	cacheHits, cacheMisses       atomic.Uint64
 	coalesced, retries           atomic.Uint64
+	dispatchRetries              atomic.Uint64
 
 	now func() time.Time
 }
@@ -138,6 +146,9 @@ func NewManager(opts Options) *Manager {
 	}
 	if opts.Build == nil {
 		opts.Build = BuildSpec
+	}
+	if opts.BuildContinuous == nil {
+		opts.BuildContinuous = BuildContinuousSpec
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
@@ -200,8 +211,11 @@ func (m *Manager) Submit(spec JobSpec) (rec *RunRecord, fresh bool, err error) {
 	m.refreshStore()
 	// Warm-started specs never dedupe: their result depends on the history
 	// available when they start, so two submissions of the same warm spec
-	// are different jobs.
-	if !spec.WarmStart {
+	// are different jobs. Continuous specs never dedupe either — each is a
+	// distinct monitoring session over a live platform (validation already
+	// rejected any that explicitly asked for dedup).
+	joinable := !spec.WarmStart && spec.Mode != histdb.ModeContinuous
+	if joinable {
 		// An identical spec already queued or running: join it.
 		if j, ok := m.byKey[key]; ok {
 			m.deduped.Add(1)
@@ -235,7 +249,7 @@ func (m *Manager) Submit(spec JobSpec) (rec *RunRecord, fresh bool, err error) {
 		return nil, false, ErrQueueFull
 	}
 	m.jobs[j.rec.ID] = j
-	if !spec.WarmStart {
+	if joinable {
 		m.byKey[key] = j
 	}
 	m.submitted.Add(1)
@@ -268,6 +282,12 @@ func (m *Manager) Resume(id string) (*RunRecord, error) {
 		return nil, ErrNotFound
 	}
 	if rec.State == StateDone {
+		return nil, ErrNotResumable
+	}
+	if rec.Spec.Normalize().Mode == histdb.ModeContinuous {
+		// A continuous run's value is the monitoring session itself; the
+		// platform history it observed cannot be replayed from a
+		// measurement checkpoint. Submit a fresh continuous run instead.
 		return nil, ErrNotResumable
 	}
 	// Reset the lifecycle; keep Checkpoint and Warm — they are the run's
@@ -320,6 +340,11 @@ func (m *Manager) runJob(j *job) {
 	m.started.Add(1)
 	m.running.Add(1)
 	defer m.running.Add(-1)
+
+	if j.rec.Spec.Normalize().Mode == histdb.ModeContinuous {
+		m.runContinuousJob(j)
+		return
+	}
 
 	p, alg, err := m.opts.Build(j.rec.Spec)
 	if err != nil {
@@ -374,6 +399,7 @@ func (m *Manager) runJob(j *job) {
 	m.cacheMisses.Add(st.Misses)
 	m.coalesced.Add(st.Coalesced)
 	m.retries.Add(st.Retries)
+	m.dispatchRetries.Add(st.DispatchRetries)
 	j.rec.Collector = st
 	if err == nil {
 		// The result carries everything a resume would need.
@@ -385,6 +411,86 @@ func (m *Manager) runJob(j *job) {
 	}
 	m.finalize(j, res, err)
 	m.mu.Unlock()
+}
+
+// runContinuousJob drives a continuous-mode job: the online-retuning driver
+// tunes through the drift environment, then monitors and retunes until its
+// probe budget is spent. The hub observer streams the continuous event
+// sequence (probe_measured, drift_confirmed, reexplore_started,
+// reconverged) live over SSE. Each tuning epoch gets a fresh collector;
+// their stats are folded into one per-run total, and the current epoch's
+// collector backs the live /metrics gauges. Continuous runs are not
+// checkpointed — the platform history they observe is not replayable.
+// Called from runJob with the record already in StateRunning.
+func (m *Manager) runContinuousJob(j *job) {
+	c, err := m.opts.BuildContinuous(j.rec.Spec)
+	if err != nil {
+		m.mu.Lock()
+		m.finalize(j, nil, err)
+		m.mu.Unlock()
+		return
+	}
+	c.Ctx = j.ctx
+	c.Observer = j.hub
+
+	var (
+		statsMu sync.Mutex
+		total   collector.Stats
+	)
+	var cur *collector.Collector
+	inner := c.NewProblem
+	c.NewProblem = func() *tuner.Problem {
+		p := inner()
+		statsMu.Lock()
+		if cur != nil {
+			total = foldStats(total, cur.Stats())
+		}
+		cur = p.Collector()
+		statsMu.Unlock()
+		m.mu.Lock()
+		m.liveCols[j.rec.ID] = p.Collector()
+		m.mu.Unlock()
+		return p
+	}
+
+	res, err := c.Run(j.rec.Spec.Budget)
+
+	statsMu.Lock()
+	if cur != nil {
+		total = foldStats(total, cur.Stats())
+	}
+	statsMu.Unlock()
+	m.mu.Lock()
+	delete(m.liveCols, j.rec.ID)
+	m.cacheHits.Add(total.Hits)
+	m.cacheMisses.Add(total.Misses)
+	m.coalesced.Add(total.Coalesced)
+	m.retries.Add(total.Retries)
+	m.dispatchRetries.Add(total.DispatchRetries)
+	j.rec.Collector = total
+	if err == nil {
+		j.rec.Continuous = res
+		m.finalize(j, res.Final, nil)
+	} else {
+		m.finalize(j, nil, err)
+	}
+	m.mu.Unlock()
+}
+
+// foldStats accumulates one epoch's collector stats into a run total.
+func foldStats(total, st collector.Stats) collector.Stats {
+	total.Hits += st.Hits
+	total.Misses += st.Misses
+	total.Coalesced += st.Coalesced
+	total.Retries += st.Retries
+	total.DispatchRetries += st.DispatchRetries
+	total.Errors += st.Errors
+	total.WorkflowRuns += st.WorkflowRuns
+	total.ComponentRuns += st.ComponentRuns
+	if st.InFlightPeak > total.InFlightPeak {
+		total.InFlightPeak = st.InFlightPeak
+	}
+	return total
 }
 
 // checkpointer persists a live run's measurement progress: after every
@@ -558,12 +664,14 @@ func (m *Manager) Metrics() Metrics {
 	mt.CacheMisses = m.cacheMisses.Load()
 	mt.Coalesced = m.coalesced.Load()
 	mt.Retries = m.retries.Load()
+	mt.DispatchRetries = m.dispatchRetries.Load()
 	for _, col := range m.liveCols {
 		st := col.Stats()
 		mt.CacheHits += st.Hits
 		mt.CacheMisses += st.Misses
 		mt.Coalesced += st.Coalesced
 		mt.Retries += st.Retries
+		mt.DispatchRetries += st.DispatchRetries
 		mt.CacheInFlight += st.InFlight
 		if st.InFlightPeak > mt.CacheInFlightPeak {
 			mt.CacheInFlightPeak = st.InFlightPeak

@@ -269,6 +269,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		"ceal_collector_cache_misses_total": float64(mt.CacheMisses),
 		"ceal_collector_coalesced_total":    float64(mt.Coalesced),
 		"ceal_collector_retries_total":      float64(mt.Retries),
+		"ceal_dispatch_retries_total":       float64(mt.DispatchRetries),
 		"ceal_collector_in_flight":          float64(mt.CacheInFlight),
 		"ceal_collector_in_flight_peak":     float64(mt.CacheInFlightPeak),
 	}

@@ -59,6 +59,24 @@ func ValidateSpec(s JobSpec) error {
 	if n.Pool < 1 {
 		return fmt.Errorf("service: pool size %d below 1", n.Pool)
 	}
+	switch n.Mode {
+	case histdb.ModeTune:
+	case histdb.ModeContinuous:
+		if _, err := cluster.ParseProfile(n.Drift, n.Seed); err != nil {
+			return fmt.Errorf("service: %w", err)
+		}
+		if n.Dedup {
+			// Continuous runs monitor a live platform from admission onward;
+			// joining one in flight or serving a stored one as a cached
+			// answer would hand back a different platform history.
+			return fmt.Errorf("service: continuous runs are never dedup-joinable; drop the dedup flag")
+		}
+		if n.WarmStart {
+			return fmt.Errorf("service: continuous runs warm-start internally from their own epochs; drop warm_start")
+		}
+	default:
+		return fmt.Errorf("service: unknown run mode %q (want %q or %q)", n.Mode, histdb.ModeTune, histdb.ModeContinuous)
+	}
 	return nil
 }
 
@@ -90,6 +108,41 @@ func BuildSpec(s JobSpec) (*tuner.Problem, tuner.Algorithm, error) {
 		p.Workers = n.Workers
 	}
 	return p, alg, nil
+}
+
+// BuildContinuousSpec assembles the continuous (online-retuning) driver for
+// a continuous-mode spec: a drift environment following the spec's load
+// profile, the spec's algorithm driving every epoch, and the spec's probe
+// count bounding the monitoring phase. The driver is deterministic from the
+// spec — but unlike tune runs it is never deduped: identical continuous
+// specs are distinct monitoring sessions by definition.
+func BuildContinuousSpec(s JobSpec) (*tuner.Continuous, error) {
+	n := s.Normalize()
+	if err := ValidateSpec(n); err != nil {
+		return nil, err
+	}
+	if n.Mode != histdb.ModeContinuous {
+		return nil, fmt.Errorf("service: spec mode %q is not continuous", n.Mode)
+	}
+	b, err := workflow.ByName(cluster.Default(), n.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := live.ParseObjective(n.Objective)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := live.AlgorithmByName(n.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	c, err := live.NewContinuous(b, obj, n.Pool, n.Seed, n.Drift, n.Workers)
+	if err != nil {
+		return nil, err
+	}
+	c.Algorithm = alg
+	c.Opts.Probes = n.Probes
+	return c, nil
 }
 
 // BuildSpecRemote returns a Build function that assembles the same problem

@@ -35,6 +35,15 @@ const (
 	KindIterationDone  Kind = "iteration_done"
 	KindFallback       Kind = "degenerate_fallback"
 	KindRunFinished    Kind = "run_finished"
+
+	// Continuous-mode events (tuner.Continuous over internal/drift): the
+	// monitoring probes, the drift detector's escalating verdicts, and the
+	// re-exploration cycle they trigger.
+	KindProbeMeasured    Kind = "probe_measured"
+	KindDriftSuspected   Kind = "drift_suspected"
+	KindDriftConfirmed   Kind = "drift_confirmed"
+	KindReexploreStarted Kind = "reexplore_started"
+	KindReconverged      Kind = "reconverged"
 )
 
 // Event is one step of a tuning run. Concrete types below carry the
@@ -163,6 +172,67 @@ type RunFinished struct {
 	SwitchIteration int     `json:"switch_iteration"`
 }
 
+// ProbeMeasured is one continuous-mode monitoring measurement of the
+// incumbent configuration at the current platform condition.
+type ProbeMeasured struct {
+	// Probe is the 0-based probe index within the continuous run.
+	Probe int `json:"probe"`
+	// Clock is the virtual time (in reference-measurement units) after the
+	// probe.
+	Clock float64 `json:"clock"`
+	// Value is the incumbent's measured value; Baseline is its value at the
+	// last (re)convergence; Residual is (Value-Baseline)/Baseline.
+	Value    float64 `json:"value"`
+	Baseline float64 `json:"baseline"`
+	Residual float64 `json:"residual"`
+	// Regret is Value minus the oracle best over the tracked configurations
+	// at the current condition (0 when no oracle set is configured).
+	Regret float64 `json:"regret"`
+}
+
+// DriftSuspected reports the detector seeing deviation that is not yet
+// persistent enough to confirm.
+type DriftSuspected struct {
+	Probe    int     `json:"probe"`
+	Clock    float64 `json:"clock"`
+	Residual float64 `json:"residual"`
+}
+
+// DriftConfirmed reports a confirmed platform drift: the incumbent no
+// longer performs as it did at (re)convergence, and re-exploration (if the
+// driver has epochs left) follows.
+type DriftConfirmed struct {
+	Probe    int     `json:"probe"`
+	Clock    float64 `json:"clock"`
+	Residual float64 `json:"residual"`
+	// Epoch is the 1-based re-exploration epoch this confirmation opens.
+	Epoch int `json:"epoch"`
+}
+
+// ReexploreStarted opens one bounded re-exploration: a fresh tuning run,
+// warm-started from the previous epoch's measurements, under the drifted
+// condition.
+type ReexploreStarted struct {
+	Epoch  int     `json:"epoch"`
+	Clock  float64 `json:"clock"`
+	Budget int     `json:"budget"`
+	// WarmSamples is how many prior workflow measurements seed the epoch.
+	WarmSamples int `json:"warm_samples"`
+}
+
+// Reconverged closes one re-exploration epoch with its new incumbent and
+// the time it took.
+type Reconverged struct {
+	Epoch int     `json:"epoch"`
+	Clock float64 `json:"clock"`
+	// DurationUnits is the virtual time the re-exploration consumed.
+	DurationUnits float64 `json:"duration_units"`
+	// Measurements is the epoch's workflow-measurement count.
+	Measurements int     `json:"measurements"`
+	BestValue    float64 `json:"best_value"`
+	BestConfig   []int   `json:"best_config"`
+}
+
 func (*RunStarted) Kind() Kind     { return KindRunStarted }
 func (*WarmStarted) Kind() Kind    { return KindWarmStarted }
 func (*BatchSelected) Kind() Kind  { return KindBatchSelected }
@@ -173,6 +243,12 @@ func (*BiasEscape) Kind() Kind     { return KindBiasEscape }
 func (*IterationDone) Kind() Kind  { return KindIterationDone }
 func (*Fallback) Kind() Kind       { return KindFallback }
 func (*RunFinished) Kind() Kind    { return KindRunFinished }
+
+func (*ProbeMeasured) Kind() Kind    { return KindProbeMeasured }
+func (*DriftSuspected) Kind() Kind   { return KindDriftSuspected }
+func (*DriftConfirmed) Kind() Kind   { return KindDriftConfirmed }
+func (*ReexploreStarted) Kind() Kind { return KindReexploreStarted }
+func (*Reconverged) Kind() Kind      { return KindReconverged }
 
 // Observer receives the event stream of a tuning run. Events arrive in run
 // order from the goroutine driving the loop; implementations that are

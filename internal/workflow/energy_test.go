@@ -99,6 +99,58 @@ func TestPostHocEnergySumsComponents(t *testing.T) {
 	}
 }
 
+// checkEnergySplit asserts the first-class per-component energy metric:
+// one positive entry per component, summing to the aggregate EnergyKJ.
+func checkEnergySplit(t *testing.T, label string, meas Measurement, components int) {
+	t.Helper()
+	if len(meas.PerComponentEnergy) != components {
+		t.Fatalf("%s: %d per-component energy entries, want %d", label, len(meas.PerComponentEnergy), components)
+	}
+	sum := 0.0
+	for j, e := range meas.PerComponentEnergy {
+		if e <= 0 {
+			t.Fatalf("%s: component %d energy = %v, want positive", label, j, e)
+		}
+		sum += e
+	}
+	if diff := (sum - meas.EnergyKJ) / meas.EnergyKJ; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("%s: per-component energies sum to %v, aggregate is %v", label, sum, meas.EnergyKJ)
+	}
+}
+
+func TestPerComponentEnergyIsFirstClass(t *testing.T) {
+	m := cluster.Default()
+	for _, b := range Benchmarks(m) {
+		w, err := b.Build(b.Space.Sample(rand.New(rand.NewPCG(17, 17))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := w.RunInSitu()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEnergySplit(t, b.Name+" in-situ", in, len(w.Components))
+		ph, err := w.RunPostHoc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEnergySplit(t, b.Name+" post-hoc", ph, len(w.Components))
+	}
+	c := apps.NewLAMMPS(m, cfgspace.Config{128, 32, 1})
+	solo, err := RunSolo(m, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEnergySplit(t, "solo", solo, 1)
+	// Noise scales the split by the same factor as the aggregate, so the
+	// sum invariant survives measurement.
+	noisy, err := MeasureSolo(m, c, 0, rand.New(rand.NewPCG(9, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEnergySplit(t, "noisy solo", noisy, 1)
+}
+
 func TestNoiseScalesEnergyConsistently(t *testing.T) {
 	m := cluster.Default()
 	b := LV(m)

@@ -63,6 +63,11 @@ type Measurement struct {
 	// PerComponent holds each component's end-to-end wall-clock time; for
 	// solo runs it has one entry.
 	PerComponent []float64
+	// PerComponentEnergy splits EnergyKJ by component (same indexing as
+	// PerComponent): each entry charges the component's own allocation for
+	// idle draw over its accounted span plus the active-power gap for its
+	// busy core-seconds. The entries sum to EnergyKJ.
+	PerComponentEnergy []float64
 }
 
 // Validate checks structural soundness: steps agreement, edge indices, and
@@ -130,15 +135,16 @@ func activeCores(c *apps.Component, m cluster.Machine) float64 {
 	return float64(active)
 }
 
-// energyKJ aggregates the run's energy: every component's allocation idles
-// for the whole makespan and burns active power for its busy core-seconds.
-func (w *Workflow) energyKJ(makespan float64, busy []float64) float64 {
-	total := 0.0
+// energyKJ splits the run's energy by component: every component's
+// allocation idles for the whole makespan and burns active power for its
+// busy core-seconds. The total is the sum of the returned entries.
+func (w *Workflow) energyKJ(makespan float64, busy []float64) []float64 {
+	per := make([]float64, len(w.Components))
 	for j, c := range w.Components {
 		nodeSeconds := float64(c.Nodes()) * makespan
-		total += w.Machine.EnergyKJ(nodeSeconds, busy[j]*activeCores(c, w.Machine))
+		per[j] = w.Machine.EnergyKJ(nodeSeconds, busy[j]*activeCores(c, w.Machine))
 	}
-	return total
+	return per
 }
 
 // RunInSitu executes the workflow with all components coupled through
@@ -214,11 +220,17 @@ func (w *Workflow) measurement(perComponent, busy []float64) Measurement {
 		}
 	}
 	cores := float64(w.TotalNodes() * w.Machine.CoresPerNode)
+	perEnergy := w.energyKJ(makespan, busy)
+	total := 0.0
+	for _, e := range perEnergy {
+		total += e
+	}
 	return Measurement{
-		ExecTime:     makespan,
-		CompTime:     makespan * cores / 3600,
-		EnergyKJ:     w.energyKJ(makespan, busy),
-		PerComponent: append([]float64(nil), perComponent...),
+		ExecTime:           makespan,
+		CompTime:           makespan * cores / 3600,
+		EnergyKJ:           total,
+		PerComponent:       append([]float64(nil), perComponent...),
+		PerComponentEnergy: perEnergy,
 	}
 }
 
@@ -272,11 +284,13 @@ func RunSolo(m cluster.Machine, c *apps.Component, inBytesPerStep float64) (Meas
 		inPlans = append(inPlans, staging.NewPlan(inBytesPerStep, 0))
 	}
 	busy := activeSeconds(c, inPlans)
+	energy := m.EnergyKJ(float64(c.Nodes())*finish, busy*activeCores(c, m))
 	return Measurement{
-		ExecTime:     finish,
-		CompTime:     finish * cores / 3600,
-		EnergyKJ:     m.EnergyKJ(float64(c.Nodes())*finish, busy*activeCores(c, m)),
-		PerComponent: []float64{finish},
+		ExecTime:           finish,
+		CompTime:           finish * cores / 3600,
+		EnergyKJ:           energy,
+		PerComponent:       []float64{finish},
+		PerComponentEnergy: []float64{energy},
 	}, nil
 }
 
@@ -299,7 +313,8 @@ func (w *Workflow) RunPostHoc() (Measurement, error) {
 	}
 	ready := make([]float64, len(w.Components)) // earliest start time
 	finish := make([]float64, len(w.Components))
-	var compHours, energy float64
+	perEnergy := make([]float64, len(w.Components))
+	var compHours float64
 	for _, ci := range order {
 		c := w.Components[ci]
 		meas, err := RunSolo(w.Machine, c, inBytes[ci])
@@ -308,20 +323,24 @@ func (w *Workflow) RunPostHoc() (Measurement, error) {
 		}
 		finish[ci] = ready[ci] + meas.ExecTime
 		compHours += meas.CompTime
-		energy += meas.EnergyKJ
+		perEnergy[ci] = meas.EnergyKJ
 		for _, e := range w.Edges {
 			if e.From == ci && finish[ci] > ready[e.To] {
 				ready[e.To] = finish[ci]
 			}
 		}
 	}
-	makespan := 0.0
-	for _, t := range finish {
+	makespan, energy := 0.0, 0.0
+	for ci, t := range finish {
 		if t > makespan {
 			makespan = t
 		}
+		energy += perEnergy[ci]
 	}
-	return Measurement{ExecTime: makespan, CompTime: compHours, EnergyKJ: energy, PerComponent: finish}, nil
+	return Measurement{
+		ExecTime: makespan, CompTime: compHours, EnergyKJ: energy,
+		PerComponent: finish, PerComponentEnergy: perEnergy,
+	}, nil
 }
 
 func (w *Workflow) topoOrder() ([]int, error) {
@@ -389,6 +408,9 @@ func applyNoise(meas Measurement, rng *rand.Rand) Measurement {
 	meas.EnergyKJ *= f
 	for i := range meas.PerComponent {
 		meas.PerComponent[i] *= f
+	}
+	for i := range meas.PerComponentEnergy {
+		meas.PerComponentEnergy[i] *= f
 	}
 	return meas
 }
