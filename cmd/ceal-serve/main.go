@@ -52,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"ceal/internal/profiling"
 	"ceal/internal/service"
 )
 
@@ -71,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		drain     = fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline")
 		remote    = fs.String("workers-remote", "", "comma-separated ceal-worker URLs; measurements fan out to them instead of running in-process")
 		replica   = fs.String("replica-id", "", "replica name for multi-replica deployments sharing one -store; run IDs become run-<replica>-NNNNNN")
+		withProf  = fs.Bool("pprof", false, "expose /debug/pprof endpoints on -addr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -109,14 +111,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serve(ctx, *addr, opts, *drain, stdout, stderr)
+	return serve(ctx, *addr, opts, *drain, *withProf, stdout, stderr)
 }
 
 // serve listens on addr and blocks until ctx is cancelled (signal) or the
 // listener fails, then drains the manager within the deadline.
-func serve(ctx context.Context, addr string, opts service.Options, drain time.Duration, stdout, stderr io.Writer) int {
+func serve(ctx context.Context, addr string, opts service.Options, drain time.Duration, withProf bool, stdout, stderr io.Writer) int {
 	mgr := service.NewManager(opts)
-	srv := &http.Server{Handler: service.NewServer(mgr)}
+	srv := &http.Server{Handler: profiling.Wrap(service.NewServer(mgr), withProf)}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

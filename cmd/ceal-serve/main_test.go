@@ -70,7 +70,7 @@ func TestServeSmoke(t *testing.T) {
 	var errOut bytes.Buffer
 	done := make(chan int, 1)
 	go func() {
-		done <- serve(ctx, "127.0.0.1:0", service.Options{Workers: 1, QueueLimit: 4, Store: mustStore(t, storePath)}, 10*time.Second, outW, &errOut)
+		done <- serve(ctx, "127.0.0.1:0", service.Options{Workers: 1, QueueLimit: 4, Store: mustStore(t, storePath)}, 10*time.Second, false, outW, &errOut)
 		outW.Close()
 	}()
 

@@ -40,6 +40,7 @@ import (
 	"ceal"
 	"ceal/internal/emews"
 	"ceal/internal/histdb"
+	"ceal/internal/profiling"
 	"ceal/internal/tuner/events"
 )
 
@@ -67,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		continuous = fs.Bool("continuous", false, "keep the run alive after convergence: monitor the incumbent under -drift and retune online on confirmed drift")
 		driftName  = fs.String("drift", "none", "platform drift profile for -continuous: none, step, ramp, periodic, neighbor, or nodeslow")
 		probes     = fs.Int("probes", histdb.DefaultProbes, "monitoring probes after convergence (with -continuous)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write an allocs/heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -80,6 +83,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ceal-tune:", err)
 		return 1
 	}
+
+	stopCPU, err := profiling.StartCPU(*cpuProfile)
+	if err != nil {
+		return fail(err)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := profiling.WriteHeap(*memProfile); err != nil {
+			fmt.Fprintln(stderr, "ceal-tune:", err)
+		}
+	}()
 
 	var db *histdb.FileStore
 	if *history != "" {

@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"ceal/internal/profiling"
 	"ceal/internal/worker"
 )
 
@@ -44,9 +45,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ceal-worker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr    = fs.String("addr", ":9400", "listen address (host:port; :0 picks a free port)")
-		workers = fs.Int("workers", 1, "parallel measurements per request")
-		drain   = fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline")
+		addr     = fs.String("addr", ":9400", "listen address (host:port; :0 picks a free port)")
+		workers  = fs.Int("workers", 1, "parallel measurements per request")
+		drain    = fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline")
+		withProf = fs.Bool("pprof", false, "expose /debug/pprof endpoints on -addr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,13 +64,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serve(ctx, *addr, *workers, *drain, stdout, stderr)
+	return serve(ctx, *addr, *workers, *drain, *withProf, stdout, stderr)
 }
 
 // serve listens on addr and blocks until ctx is cancelled (signal) or the
 // listener fails, then drains within the deadline.
-func serve(ctx context.Context, addr string, workers int, drain time.Duration, stdout, stderr io.Writer) int {
-	srv := &http.Server{Handler: worker.NewServer(workers)}
+func serve(ctx context.Context, addr string, workers int, drain time.Duration, withProf bool, stdout, stderr io.Writer) int {
+	srv := &http.Server{Handler: profiling.Wrap(worker.NewServer(workers), withProf)}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

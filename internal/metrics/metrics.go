@@ -11,10 +11,38 @@ import (
 	"sort"
 )
 
+// topSelectMax bounds the insertion-select fast path: for requests up to
+// this size a partial selection over the input beats sorting all of it.
+const topSelectMax = 16
+
 // TopIndices returns the indices of the n smallest values, best first.
 // Ties break by index so rankings are deterministic. n is clamped to
 // [0, len(values)].
+//
+// Small requests — the common case throughout the tuner, which ranks by
+// top-1..3 recall and batch sizes of a handful — avoid the full argsort:
+// n==1 is a single argmin scan and n ≤ topSelectMax is an insertion
+// select, both O(len(values)) and byte-identical to the sort
+// (TestTopIndicesFastPaths pins this).
 func TopIndices(n int, values []float64) []int {
+	if n > len(values) {
+		n = len(values)
+	}
+	if n <= 0 {
+		return []int{}
+	}
+	if n == 1 {
+		best := 0
+		for i, v := range values {
+			if v < values[best] {
+				best = i
+			}
+		}
+		return []int{best}
+	}
+	if n <= topSelectMax && n < len(values) {
+		return topSelect(n, values)
+	}
 	idx := make([]int, len(values))
 	for i := range idx {
 		idx[i] = i
@@ -26,13 +54,31 @@ func TopIndices(n int, values []float64) []int {
 		}
 		return idx[a] < idx[b]
 	})
-	if n > len(idx) {
-		n = len(idx)
-	}
-	if n < 0 {
-		n = 0
-	}
 	return idx[:n]
+}
+
+// topSelect keeps the n smallest (value, index) pairs in a sorted prefix,
+// shifting on insert. Scanning in index order means an incoming element
+// never displaces an equal-valued earlier index, preserving the tie rule.
+func topSelect(n int, values []float64) []int {
+	idx := make([]int, 0, n)
+	for i, v := range values {
+		if len(idx) == n && v >= values[idx[n-1]] {
+			continue
+		}
+		j := len(idx)
+		if j < n {
+			idx = append(idx, 0)
+		} else {
+			j--
+		}
+		for j > 0 && v < values[idx[j-1]] {
+			idx[j] = idx[j-1]
+			j--
+		}
+		idx[j] = i
+	}
+	return idx
 }
 
 // RecallScore is Eqn. 3: the percentage overlap between the top-n

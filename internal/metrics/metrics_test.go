@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand/v2"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -240,5 +241,55 @@ func TestSpearmanTiesAndDegenerate(t *testing.T) {
 	got := Spearman([]float64{1, 2, 2, 3}, []float64{1, 2, 3, 4})
 	if got < 0.9 || got > 1 {
 		t.Fatalf("tied Spearman = %v", got)
+	}
+}
+
+// topIndicesReference is the original full-argsort implementation, kept as
+// the oracle for the argmin and insertion-select fast paths.
+func topIndicesReference(n int, values []float64) []int {
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := values[idx[a]], values[idx[b]]
+		if va != vb {
+			return va < vb
+		}
+		return idx[a] < idx[b]
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return idx[:n]
+}
+
+// TestTopIndicesFastPaths pins every fast path (argmin, insertion select,
+// full sort) byte-identical to the reference argsort across random inputs
+// with heavy ties and all request sizes straddling topSelectMax.
+func TestTopIndicesFastPaths(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 200; trial++ {
+		m := rng.IntN(60)
+		vals := make([]float64, m)
+		for i := range vals {
+			// Few distinct values force the index tie-break constantly.
+			vals[i] = float64(rng.IntN(5))
+		}
+		for _, n := range []int{0, 1, 2, 3, topSelectMax - 1, topSelectMax, topSelectMax + 1, m - 1, m, m + 3} {
+			got := TopIndices(n, vals)
+			want := topIndicesReference(n, vals)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: TopIndices(%d) len %d, want %d", trial, n, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d: TopIndices(%d, %v) = %v, want %v", trial, n, vals, got, want)
+				}
+			}
+		}
 	}
 }

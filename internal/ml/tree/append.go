@@ -1,0 +1,168 @@
+package tree
+
+import (
+	"sort"
+
+	"ceal/internal/score"
+)
+
+// This file is the incremental-growth side of the two training kernels.
+// Boosted refits inside a tuning loop train on a matrix that only ever
+// gains rows — one measured batch per iteration — so rebuilding the
+// pre-sorted column index or the quantized matrix from scratch every fit
+// repeats almost all of the previous fit's work. Append extends both
+// structures in place: the pre-sorted context merge-appends the new rows
+// into each column's (value, row) order, and the binned matrix reuses a
+// column's existing cut points whenever the new values stay lossless,
+// re-quantizing only the columns the batch invalidated. Both paths are
+// bitwise-identical to a from-scratch rebuild over the grown matrix,
+// which the incremental property suite pins.
+
+// Append extends the context to cover X, which must be the context's
+// original matrix plus new rows at the tail (the prefix rows themselves
+// unchanged — the context adopts X rather than copying it). Each column
+// sorts just the fresh indices and merges them into the existing order in
+// one backward pass. The merge is identical to re-sorting the whole
+// column because every old row index is smaller than every new one: under
+// the (value, row) order the two runs are each sorted, and on equal
+// values old rows precede new rows exactly as a full sort would place
+// them. Cost is O(b log b + n) per column instead of O(n log n).
+func (c *Context) Append(e *score.Engine, X [][]float64) {
+	old := c.n
+	b := len(X) - old
+	if b < 0 {
+		panic("tree: Context.Append with fewer rows than the context holds")
+	}
+	if b == 0 {
+		c.X = X
+		return
+	}
+	if old == 0 {
+		*c = *NewContext(e, X)
+		return
+	}
+	c.X = X
+	c.n = len(X)
+	e.Tasks(c.dim, func(f int) {
+		fresh := make([]int32, b)
+		for i := range fresh {
+			fresh[i] = int32(old + i)
+		}
+		sort.Slice(fresh, func(a, z int) bool {
+			if X[fresh[a]][f] != X[fresh[z]][f] {
+				return X[fresh[a]][f] < X[fresh[z]][f]
+			}
+			return fresh[a] < fresh[z]
+		})
+		s := append(c.sorted[f], fresh...)
+		// Backward merge into the grown tail: on value ties take the fresh
+		// index — it is the larger row, so (value, row) order holds.
+		i, j := old-1, b-1
+		for k := old + b - 1; j >= 0; k-- {
+			if i >= 0 && X[s[i]][f] > X[fresh[j]][f] {
+				s[k] = s[i]
+				i--
+			} else {
+				s[k] = fresh[j]
+				j--
+			}
+		}
+		c.sorted[f] = s
+	})
+}
+
+// Append extends the matrix to cover X, which must be the matrix's
+// original rows plus new rows at the tail (the matrix adopts X rather
+// than copying it). A column whose binning is exact — one bin per
+// distinct value — keeps its cut points when every new value is one the
+// column already has: the new rows just append their codes, and the
+// result is identical to quantizing the grown column from scratch (same
+// distinct set, same identity bin numbering, same bounds). Any new value,
+// and any column already in the lossy quantile regime (whose cuts depend
+// on n), re-quantizes from the full column. The re-quantize fallback is
+// literally NewBinnedMatrix's per-column path, so Append equals a rebuild
+// bit for bit in every case.
+func (bm *BinnedMatrix) Append(e *score.Engine, X [][]float64) {
+	old := bm.n
+	b := len(X) - old
+	if b < 0 {
+		panic("tree: BinnedMatrix.Append with fewer rows than the matrix holds")
+	}
+	if b == 0 {
+		bm.X = X
+		return
+	}
+	if old == 0 {
+		*bm = *NewBinnedMatrix(e, X, bm.maxBins)
+		return
+	}
+	bm.X = X
+	bm.n = len(X)
+	e.Tasks(bm.dim, func(f int) {
+		codes := bm.codes[f]
+		if cap(codes) >= bm.n {
+			codes = codes[:bm.n]
+		} else {
+			grown := make([]uint8, bm.n, max(bm.n, 2*cap(codes)))
+			copy(grown, codes)
+			codes = grown
+		}
+		bm.codes[f] = codes
+		if bm.exact[f] && bm.appendExact(f, old, codes) {
+			return
+		}
+		col := make([]float64, bm.n)
+		for i, row := range X {
+			col[i] = row[f]
+		}
+		q := quantizeColumn(col, bm.maxBins, codes)
+		bm.nb[f] = q.nb
+		bm.binLo[f] = q.lo
+		bm.binHi[f] = q.hi
+		bm.exact[f] = q.exact
+	})
+	bm.maxNB = 0
+	for _, nb := range bm.nb {
+		if nb > bm.maxNB {
+			bm.maxNB = nb
+		}
+	}
+}
+
+// appendExact codes rows [old, bm.n) of an exact column against its
+// existing bins, reporting false (partial tail writes are harmless — the
+// caller re-quantizes the whole column) on the first value the column has
+// not seen. For exact columns binLo[j] == binHi[j] == the j-th distinct
+// value, so the lookup is a binary search over the bin bounds.
+func (bm *BinnedMatrix) appendExact(f, old int, codes []uint8) bool {
+	vals := bm.binLo[f]
+	for i := old; i < bm.n; i++ {
+		v := bm.X[i][f]
+		j := sort.SearchFloat64s(vals, v)
+		if j == len(vals) || vals[j] != v {
+			return false
+		}
+		codes[i] = uint8(j)
+	}
+	return true
+}
+
+// nodeSlab hands out tree nodes from chunked backing arrays, replacing
+// one heap allocation per node with one per chunk. Chunks are never
+// reused or truncated: a filled chunk stays alive exactly as long as the
+// trees pointing into it, so growers can keep allocating across fits
+// while earlier fits' models remain valid. Node allocation happens only
+// on the (serial) grow recursion, never inside fanned column tasks.
+type nodeSlab struct {
+	cur []node
+}
+
+const slabChunk = 512
+
+func (s *nodeSlab) alloc(n node) *node {
+	if len(s.cur) == cap(s.cur) {
+		s.cur = make([]node, 0, slabChunk)
+	}
+	s.cur = append(s.cur, n)
+	return &s.cur[len(s.cur)-1]
+}

@@ -49,18 +49,20 @@ import (
 const MaxBins = 256
 
 // BinnedMatrix holds one training matrix quantized for histogram
-// training. Build it once per fit (X is static across every round and
-// node) and grow every tree of the ensemble from it; the matrix is
-// immutable after construction and safe for concurrent Growers.
+// training. Build it once (X is static across every round and node of a
+// fit) and grow every tree of the ensemble from it; between fits the
+// matrix may gain rows via Append, but it never changes while Growers
+// are running, and concurrent Growers over a settled matrix are safe.
 type BinnedMatrix struct {
-	X      [][]float64
-	n, dim int
-	maxNB  int         // widest per-feature bin count (histogram stride)
-	nb     []int       // per feature: number of bins
-	codes  []uint8     // column-major: codes[f*n+i] is row i's bin in feature f
-	binLo  [][]float64 // per feature: smallest value in each bin
-	binHi  [][]float64 // per feature: largest value in each bin
-	exact  []bool      // per feature: every distinct value has its own bin
+	X       [][]float64
+	n, dim  int
+	maxBins int         // the clamped bin cap, kept for Append's re-quantize path
+	maxNB   int         // widest per-feature bin count (histogram stride)
+	nb      []int       // per feature: number of bins
+	codes   [][]uint8   // per feature: codes[f][i] is row i's bin (per-column so Append can grow one column at a time)
+	binLo   [][]float64 // per feature: smallest value in each bin
+	binHi   [][]float64 // per feature: largest value in each bin
+	exact   []bool      // per feature: every distinct value has its own bin
 }
 
 // NewBinnedMatrix quantizes every feature column of X to at most maxBins
@@ -77,13 +79,13 @@ func NewBinnedMatrix(e *score.Engine, X [][]float64, maxBins int) *BinnedMatrix 
 	if maxBins < 2 {
 		maxBins = 2
 	}
-	bm := &BinnedMatrix{X: X, n: len(X)}
+	bm := &BinnedMatrix{X: X, n: len(X), maxBins: maxBins}
 	if bm.n == 0 {
 		return bm
 	}
 	bm.dim = len(X[0])
 	bm.nb = make([]int, bm.dim)
-	bm.codes = make([]uint8, bm.dim*bm.n)
+	bm.codes = make([][]uint8, bm.dim)
 	bm.binLo = make([][]float64, bm.dim)
 	bm.binHi = make([][]float64, bm.dim)
 	bm.exact = make([]bool, bm.dim)
@@ -92,7 +94,8 @@ func NewBinnedMatrix(e *score.Engine, X [][]float64, maxBins int) *BinnedMatrix 
 		for i, row := range X {
 			col[i] = row[f]
 		}
-		q := quantizeColumn(col, maxBins, bm.codes[f*bm.n:(f+1)*bm.n])
+		bm.codes[f] = make([]uint8, bm.n)
+		q := quantizeColumn(col, maxBins, bm.codes[f])
 		bm.nb[f] = q.nb
 		bm.binLo[f] = q.lo
 		bm.binHi[f] = q.hi
@@ -244,6 +247,9 @@ type BinnedGrower struct {
 	colThr   []float64 // per selected column: best candidate threshold
 	colFound []bool
 
+	slab nodeSlab // chunked node storage shared by every tree this grower grows
+	task binTask  // per-Grow recursion state, reused across calls
+
 	probe func(feature int, parent, left, right Hist)
 }
 
@@ -275,13 +281,16 @@ func (gw *BinnedGrower) Grow(g, h []float64, rows []int, cols []int, opt Options
 	for i, r := range rows {
 		gw.rowsOrd[i] = int32(r)
 	}
-	t := &binTask{gw: gw, g: g, h: h, cols: cols, opt: opt, leafOut: leafOut}
+	t := &gw.task
+	*t = binTask{gw: gw, g: g, h: h, cols: cols, opt: opt, leafOut: leafOut}
 	var root *binHist
 	if opt.MaxDepth > 0 && m >= 2 {
 		t.accumulate(&gw.rootHist, 0, m)
 		root = &gw.rootHist
 	}
-	return &Tree{root: t.grow(0, m, 0, root)}
+	rootNode := t.grow(0, m, 0, root)
+	*t = binTask{} // drop the g/h/leafOut references
+	return &Tree{root: rootNode}
 }
 
 // reserve sizes the scratch for a tree over m rows, nc columns and the
@@ -333,15 +342,11 @@ func (t *binTask) fan(span int) bool {
 // accumulate builds the histogram of rowsOrd[lo:hi] directly, one
 // column at a time (fanned when the node is large enough).
 func (t *binTask) accumulate(hist *binHist, lo, hi int) {
-	gw := t.gw
-	body := func(ci int) {
-		t.accumulateCol(hist, ci, lo, hi)
-	}
 	if t.fan(hi - lo) {
-		gw.eng.Tasks(len(t.cols), body)
+		t.gw.eng.Tasks(len(t.cols), func(ci int) { t.accumulateCol(hist, ci, lo, hi) })
 	} else {
 		for ci := range t.cols {
-			body(ci)
+			t.accumulateCol(hist, ci, lo, hi)
 		}
 	}
 }
@@ -361,12 +366,66 @@ func (t *binTask) accumulateCol(hist *binHist, ci, lo, hi int) {
 	clear(gs)
 	clear(hs)
 	clear(cnt)
-	codes := bm.codes[f*bm.n : (f+1)*bm.n]
+	codes := bm.codes[f]
 	for _, r := range gw.rowsOrd[lo:hi] {
 		b := codes[r]
 		gs[b] += t.g[r]
 		hs[b] += t.h[r]
 		cnt[b]++
+	}
+}
+
+// scanBins enumerates split candidates for selected column ci over the
+// node's histogram, recording the column's best in its own slot.
+func (t *binTask) scanBins(hist *binHist, ci int, gSum, hSum, parentScore float64) {
+	gw, opt := t.gw, t.opt
+	bm := gw.bm
+	f := t.cols[ci]
+	off := ci * bm.maxNB
+	nb := bm.nb[f]
+	gs := hist.gs[off : off+nb]
+	hs := hist.hs[off : off+nb]
+	cnt := hist.cnt[off : off+nb]
+	binLo, binHi := bm.binLo[f], bm.binHi[f]
+	best, thr, found := opt.Gamma, 0.0, false
+	var gl, hl float64
+	prev := -1 // last bin with rows in this node
+	for b := 0; b < nb; b++ {
+		if cnt[b] == 0 {
+			continue
+		}
+		if prev >= 0 {
+			// Candidate between the node's adjacent occupied bins —
+			// the same boundaries (and, for singleton bins, the same
+			// midpoint floats) the reference enumerates between
+			// adjacent distinct values.
+			gr, hr := gSum-gl, hSum-hl
+			if hl >= opt.MinChildWeight && hr >= opt.MinChildWeight {
+				gain := gl*gl/(hl+opt.Lambda) + gr*gr/(hr+opt.Lambda) - parentScore
+				if gainBeats(gain, best, parentScore) {
+					best, thr, found = gain, (binHi[prev]+binLo[b])/2, true
+				}
+			}
+		}
+		gl += gs[b]
+		hl += hs[b]
+		prev = b
+	}
+	gw.colGain[ci], gw.colThr[ci], gw.colFound[ci] = best, thr, found
+}
+
+// subCol accumulates the smaller child's histogram for selected column ci
+// and derives the larger child's by bin-wise subtraction from the parent.
+func (t *binTask) subCol(hist, small, large *binHist, ci, smallLo, smallHi int) {
+	bm := t.gw.bm
+	t.accumulateCol(small, ci, smallLo, smallHi)
+	f := t.cols[ci]
+	off := ci * bm.maxNB
+	nb := bm.nb[f]
+	for j := off; j < off+nb; j++ {
+		large.gs[j] = hist.gs[j] - small.gs[j]
+		large.hs[j] = hist.hs[j] - small.hs[j]
+		large.cnt[j] = hist.cnt[j] - small.cnt[j]
 	}
 }
 
@@ -387,7 +446,7 @@ func (t *binTask) grow(lo, hi, depth int, hist *binHist) *node {
 				t.leafOut[r] = leafValue
 			}
 		}
-		return &node{leaf: true, value: leafValue}
+		return gw.slab.alloc(node{leaf: true, value: leafValue})
 	}
 	if depth >= opt.MaxDepth || hi-lo < 2 || hist == nil {
 		return makeLeaf()
@@ -395,47 +454,15 @@ func (t *binTask) grow(lo, hi, depth int, hist *binHist) *node {
 
 	// Split enumeration over bins: each column scans its own histogram
 	// and records its best candidate in its own slot; the reduce below is
-	// serial in cols order, exactly like the pre-sorted kernel.
+	// serial in cols order, exactly like the pre-sorted kernel (and like
+	// it, the serial path calls the method directly — per-node closures
+	// would dominate a warm refit's allocations).
 	parentScore := gSum * gSum / (hSum + opt.Lambda)
-	scan := func(ci int) {
-		f := t.cols[ci]
-		off := ci * bm.maxNB
-		nb := bm.nb[f]
-		gs := hist.gs[off : off+nb]
-		hs := hist.hs[off : off+nb]
-		cnt := hist.cnt[off : off+nb]
-		binLo, binHi := bm.binLo[f], bm.binHi[f]
-		best, thr, found := opt.Gamma, 0.0, false
-		var gl, hl float64
-		prev := -1 // last bin with rows in this node
-		for b := 0; b < nb; b++ {
-			if cnt[b] == 0 {
-				continue
-			}
-			if prev >= 0 {
-				// Candidate between the node's adjacent occupied bins —
-				// the same boundaries (and, for singleton bins, the same
-				// midpoint floats) the reference enumerates between
-				// adjacent distinct values.
-				gr, hr := gSum-gl, hSum-hl
-				if hl >= opt.MinChildWeight && hr >= opt.MinChildWeight {
-					gain := gl*gl/(hl+opt.Lambda) + gr*gr/(hr+opt.Lambda) - parentScore
-					if gainBeats(gain, best, parentScore) {
-						best, thr, found = gain, (binHi[prev]+binLo[b])/2, true
-					}
-				}
-			}
-			gl += gs[b]
-			hl += hs[b]
-			prev = b
-		}
-		gw.colGain[ci], gw.colThr[ci], gw.colFound[ci] = best, thr, found
-	}
 	if t.fan(hi - lo) {
-		gw.eng.Tasks(len(t.cols), scan)
+		gw.eng.Tasks(len(t.cols), func(ci int) { t.scanBins(hist, ci, gSum, hSum, parentScore) })
 	} else {
 		for ci := range t.cols {
-			scan(ci)
+			t.scanBins(hist, ci, gSum, hSum, parentScore)
 		}
 	}
 	bestGain := opt.Gamma
@@ -491,22 +518,11 @@ func (t *binTask) grow(lo, hi, depth int, hist *binHist) *node {
 			leftHist, rightHist = large, small
 			smallLo, smallHi = lo+nl, hi
 		}
-		sub := func(ci int) {
-			t.accumulateCol(small, ci, smallLo, smallHi)
-			f := t.cols[ci]
-			off := ci * bm.maxNB
-			nb := bm.nb[f]
-			for j := off; j < off+nb; j++ {
-				large.gs[j] = hist.gs[j] - small.gs[j]
-				large.hs[j] = hist.hs[j] - small.hs[j]
-				large.cnt[j] = hist.cnt[j] - small.cnt[j]
-			}
-		}
 		if t.fan(smallHi - smallLo) {
-			gw.eng.Tasks(len(t.cols), sub)
+			gw.eng.Tasks(len(t.cols), func(ci int) { t.subCol(hist, small, large, ci, smallLo, smallHi) })
 		} else {
 			for ci := range t.cols {
-				sub(ci)
+				t.subCol(hist, small, large, ci, smallLo, smallHi)
 			}
 		}
 		if gw.probe != nil {
@@ -520,11 +536,13 @@ func (t *binTask) grow(lo, hi, depth int, hist *binHist) *node {
 			}
 		}
 	}
-	return &node{
+	left := t.grow(lo, lo+nl, depth+1, leftHist)
+	right := t.grow(lo+nl, hi, depth+1, rightHist)
+	return gw.slab.alloc(node{
 		feature:   bestFeature,
 		threshold: bestThreshold,
 		gain:      bestGain,
-		left:      t.grow(lo, lo+nl, depth+1, leftHist),
-		right:     t.grow(lo+nl, hi, depth+1, rightHist),
-	}
+		left:      left,
+		right:     right,
+	})
 }

@@ -85,6 +85,9 @@ type Grower struct {
 	colGain  []float64 // per selected column: best candidate gain
 	colThr   []float64 // per selected column: best candidate threshold
 	colFound []bool
+
+	slab nodeSlab // chunked node storage shared by every tree this grower grows
+	task growTask // per-Grow recursion state, reused across calls
 }
 
 // Grower returns a tree grower over the context. e controls per-node
@@ -108,8 +111,11 @@ func (gw *Grower) Grow(g, h []float64, rows []int, cols []int, opt Options, leaf
 	m := len(rows)
 	gw.reserve(m, len(cols))
 	gw.buildRoot(rows, cols)
-	t := &growTask{gw: gw, g: g, h: h, m: m, cols: cols, opt: opt, leafOut: leafOut}
-	return &Tree{root: t.grow(0, m, 0)}
+	t := &gw.task
+	*t = growTask{gw: gw, g: g, h: h, m: m, cols: cols, opt: opt, leafOut: leafOut}
+	root := t.grow(0, m, 0)
+	*t = growTask{} // drop the g/h/leafOut references
+	return &Tree{root: root}
 }
 
 // reserve sizes the scratch for a tree over m rows and nc columns.
@@ -128,7 +134,9 @@ func (gw *Grower) reserve(m, nc int) {
 		gw.rowsOrd = gw.rowsOrd[:m]
 		gw.rowsAux = gw.rowsAux[:m]
 	}
-	if gw.count == nil {
+	// Length (not nil) check: the context can gain rows between fits via
+	// Append, and these two arrays are indexed by context row.
+	if len(gw.count) < gw.c.n {
 		gw.count = make([]int32, gw.c.n)
 		gw.left = make([]bool, gw.c.n)
 	}
@@ -207,7 +215,7 @@ func (t *growTask) grow(lo, hi, depth int) *node {
 				t.leafOut[r] = leafValue
 			}
 		}
-		return &node{leaf: true, value: leafValue}
+		return gw.slab.alloc(node{leaf: true, value: leafValue})
 	}
 	if depth >= opt.MaxDepth || hi-lo < 2 {
 		return makeLeaf()
@@ -216,39 +224,16 @@ func (t *growTask) grow(lo, hi, depth int) *node {
 	// Split enumeration: each column scans its own sorted segment and
 	// records its best candidate in its own slot; the reduce below is
 	// serial in cols order, so candidate selection is independent of
-	// whether (and how wide) the scans fanned out.
+	// whether (and how wide) the scans fanned out. The serial path calls
+	// the method directly — a closure here escapes per node, which at tree
+	// depth dominates a warm refit's allocation profile.
 	parentScore := gSum * gSum / (hSum + opt.Lambda)
-	scan := func(ci int) {
-		f := t.cols[ci]
-		seg := gw.idx[ci*t.m+lo : ci*t.m+hi]
-		best, thr, found := opt.Gamma, 0.0, false
-		var gl, hl float64
-		for k := 0; k < len(seg)-1; k++ {
-			r := seg[k]
-			gl += t.g[r]
-			hl += t.h[r]
-			v, vn := X[r][f], X[seg[k+1]][f]
-			// Split only between distinct feature values.
-			if v == vn {
-				continue
-			}
-			gr, hr := gSum-gl, hSum-hl
-			if hl < opt.MinChildWeight || hr < opt.MinChildWeight {
-				continue
-			}
-			gain := gl*gl/(hl+opt.Lambda) + gr*gr/(hr+opt.Lambda) - parentScore
-			if gainBeats(gain, best, parentScore) {
-				best, thr, found = gain, (v+vn)/2, true
-			}
-		}
-		gw.colGain[ci], gw.colThr[ci], gw.colFound[ci] = best, thr, found
-	}
 	fan := gw.eng != nil && (hi-lo)*len(t.cols) >= minSplitFanWork
 	if fan {
-		gw.eng.Tasks(len(t.cols), scan)
+		gw.eng.Tasks(len(t.cols), func(ci int) { t.scanCol(ci, lo, hi, gSum, hSum, parentScore) })
 	} else {
 		for ci := range t.cols {
-			scan(ci)
+			t.scanCol(ci, lo, hi, gSum, hSum, parentScore)
 		}
 	}
 	bestGain := opt.Gamma
@@ -277,35 +262,74 @@ func (t *growTask) grow(lo, hi, depth int) *node {
 	if nl == 0 || nl == hi-lo {
 		return makeLeaf()
 	}
-	part := func(src, dst []int32) {
-		a, b := 0, nl
-		for _, r := range src {
-			if gw.left[r] {
-				dst[a] = r
-				a++
-			} else {
-				dst[b] = r
-				b++
-			}
-		}
-		copy(src, dst)
-	}
-	part(gw.rowsOrd[lo:hi], gw.rowsAux[:hi-lo])
-	partCol := func(ci int) {
-		part(gw.idx[ci*t.m+lo:ci*t.m+hi], gw.aux[ci*t.m+lo:ci*t.m+hi])
-	}
+	stablePartition(gw.left, gw.rowsOrd[lo:hi], gw.rowsAux[:hi-lo], nl)
 	if fan {
-		gw.eng.Tasks(len(t.cols), partCol)
+		gw.eng.Tasks(len(t.cols), func(ci int) { t.partCol(ci, lo, hi, nl) })
 	} else {
 		for ci := range t.cols {
-			partCol(ci)
+			t.partCol(ci, lo, hi, nl)
 		}
 	}
-	return &node{
+	left := t.grow(lo, lo+nl, depth+1)
+	right := t.grow(lo+nl, hi, depth+1)
+	return gw.slab.alloc(node{
 		feature:   bestFeature,
 		threshold: bestThreshold,
 		gain:      bestGain,
-		left:      t.grow(lo, lo+nl, depth+1),
-		right:     t.grow(lo+nl, hi, depth+1),
+		left:      left,
+		right:     right,
+	})
+}
+
+// scanCol enumerates split candidates for selected column ci over node
+// segment [lo, hi), recording the column's best in its own slot.
+func (t *growTask) scanCol(ci, lo, hi int, gSum, hSum, parentScore float64) {
+	gw, opt := t.gw, t.opt
+	X := gw.c.X
+	f := t.cols[ci]
+	seg := gw.idx[ci*t.m+lo : ci*t.m+hi]
+	best, thr, found := opt.Gamma, 0.0, false
+	var gl, hl float64
+	for k := 0; k < len(seg)-1; k++ {
+		r := seg[k]
+		gl += t.g[r]
+		hl += t.h[r]
+		v, vn := X[r][f], X[seg[k+1]][f]
+		// Split only between distinct feature values.
+		if v == vn {
+			continue
+		}
+		gr, hr := gSum-gl, hSum-hl
+		if hl < opt.MinChildWeight || hr < opt.MinChildWeight {
+			continue
+		}
+		gain := gl*gl/(hl+opt.Lambda) + gr*gr/(hr+opt.Lambda) - parentScore
+		if gainBeats(gain, best, parentScore) {
+			best, thr, found = gain, (v+vn)/2, true
+		}
 	}
+	gw.colGain[ci], gw.colThr[ci], gw.colFound[ci] = best, thr, found
+}
+
+// partCol stably partitions selected column ci's node segment by the
+// current side marks.
+func (t *growTask) partCol(ci, lo, hi, nl int) {
+	gw := t.gw
+	stablePartition(gw.left, gw.idx[ci*t.m+lo:ci*t.m+hi], gw.aux[ci*t.m+lo:ci*t.m+hi], nl)
+}
+
+// stablePartition splits src into its left-marked prefix (nl rows) and
+// right-marked suffix, preserving relative order on both sides, via dst.
+func stablePartition(left []bool, src, dst []int32, nl int) {
+	a, b := 0, nl
+	for _, r := range src {
+		if left[r] {
+			dst[a] = r
+			a++
+		} else {
+			dst[b] = r
+			b++
+		}
+	}
+	copy(src, dst)
 }

@@ -1,0 +1,43 @@
+//go:build !race
+
+package xgb
+
+import (
+	"testing"
+)
+
+// TestBoosterRefitAllocs guards the incremental-refit win: once the
+// booster's kernel and round buffers are warm, a refit over the same rows
+// allocates a small fraction of what a from-scratch FitOn does — only the
+// returned model's trees (output, inherent) plus slab chunks, never the
+// kernel rebuild or fresh round buffers. A regression that drops the
+// buffer reuse shows up as the ratio collapsing toward 1.
+func TestBoosterRefitAllocs(t *testing.T) {
+	X, y := trainingData(41, 400, 8)
+	p := Params{Rounds: 30, LearningRate: 0.1, MaxDepth: 4, Lambda: 1, MinChildWeight: 1, Subsample: 1, ColSample: 1, Seed: 7}
+
+	b, err := NewBooster(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Fit(); err != nil { // warm kernel + buffers
+		t.Fatal(err)
+	}
+
+	refit := testing.AllocsPerRun(5, func() {
+		if _, err := b.Fit(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	scratch := testing.AllocsPerRun(5, func() {
+		if _, err := FitOn(nil, X, y, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if refit > scratch/2 {
+		t.Errorf("warm refit allocates %.0f allocs/run vs %.0f from scratch; want < half", refit, scratch)
+	}
+}

@@ -1,0 +1,154 @@
+package xgb
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"ceal/internal/score"
+)
+
+// TestBoosterIncrementalMatchesScratch is the incremental-refit oracle:
+// appending rows batch by batch and refitting must produce, after every
+// batch, the same model bitwise as a from-scratch FitOn over the prefix —
+// for both kernels, with and without row/column sampling. This is the
+// property the surrogate's per-iteration refit relies on.
+func TestBoosterIncrementalMatchesScratch(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"presort full", Params{Rounds: 20, LearningRate: 0.1, MaxDepth: 4, Lambda: 1, MinChildWeight: 1, Subsample: 1, ColSample: 1, Seed: 7}},
+		{"presort sampled", Params{Rounds: 20, LearningRate: 0.2, MaxDepth: 4, Lambda: 1, MinChildWeight: 1, Subsample: 0.7, ColSample: 0.6, Seed: 11}},
+		{"binned full", Params{Rounds: 20, LearningRate: 0.1, MaxDepth: 4, Lambda: 1, MinChildWeight: 1, Subsample: 1, ColSample: 1, Seed: 7, Binned: true}},
+		{"binned sampled", Params{Rounds: 20, LearningRate: 0.2, MaxDepth: 4, Lambda: 1, MinChildWeight: 1, Subsample: 0.7, ColSample: 0.6, Seed: 13, Binned: true}},
+	}
+	const dim = 5
+	X, y := trainingData(21, 90, dim)
+	probes, _ := trainingData(22, 40, dim)
+	batches := []int{12, 1, 30, 7, 40} // prefix sizes 12, 13, 43, 50, 90
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := score.New(3)
+			b, err := NewBooster(e, tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for _, sz := range batches {
+				if err := b.Append(X[n:n+sz], y[n:n+sz]); err != nil {
+					t.Fatal(err)
+				}
+				n += sz
+				inc, err := b.Fit()
+				if err != nil {
+					t.Fatal(err)
+				}
+				scratch, err := FitOn(e, X[:n], y[:n], tc.p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				samePredictions(t, tc.name, scratch, inc, probes)
+			}
+		})
+	}
+}
+
+// TestBoosterBinnedCutInvalidation drives the histogram kernel's append
+// path through both regimes: batches drawn from the starting alphabet
+// reuse the existing cut points, and a batch introducing unseen values
+// forces the affected columns to re-quantize. Either way the refit must
+// stay bitwise identical to a scratch fit.
+func TestBoosterBinnedCutInvalidation(t *testing.T) {
+	const dim, n0 = 4, 40
+	rng := rand.New(rand.NewPCG(5, 55))
+	alphabet := []float64{-3, -1, 0, 2, 5} // small: every column starts exact
+	row := func(vals []float64) []float64 {
+		r := make([]float64, dim)
+		for f := range r {
+			r[f] = vals[rng.IntN(len(vals))]
+		}
+		return r
+	}
+	target := func(r []float64) float64 { return r[0]*2 - r[dim-1] + 0.1*rng.NormFloat64() }
+
+	X := make([][]float64, 0, n0+20)
+	y := make([]float64, 0, n0+20)
+	grow := func(k int, vals []float64) {
+		for i := 0; i < k; i++ {
+			r := row(vals)
+			X = append(X, r)
+			y = append(y, target(r))
+		}
+	}
+	grow(n0, alphabet)
+
+	p := Params{Rounds: 15, LearningRate: 0.1, MaxDepth: 4, Lambda: 1, MinChildWeight: 1, Subsample: 1, ColSample: 1, Seed: 3, Binned: true}
+	e := score.New(2)
+	b, err := NewBooster(e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		if err := b.Append(X[b.N():], y[b.N():]); err != nil {
+			t.Fatal(err)
+		}
+		inc, err := b.Fit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch, err := FitOn(e, X, y, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePredictions(t, stage, scratch, inc, X)
+	}
+
+	check("initial fit")
+	grow(10, alphabet) // same alphabet: lossless cut-point reuse
+	check("append within alphabet")
+	grow(10, []float64{-7, 1.5, 9}) // unseen values: invalidates cuts
+	check("append with new values")
+}
+
+// TestBoosterResetRefits pins Reset's contract: after dropping state, a
+// refit over a revised row set matches a scratch fit (the surrogate takes
+// this path when training targets change under it).
+func TestBoosterResetRefits(t *testing.T) {
+	X, y := trainingData(31, 50, 4)
+	p := Params{Rounds: 15, LearningRate: 0.1, MaxDepth: 4, Lambda: 1, MinChildWeight: 1, Subsample: 1, ColSample: 1, Seed: 9}
+	e := score.New(2)
+	b, err := NewBooster(e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Fit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Revise every target, Reset, refit: must match scratch on the new set.
+	y2 := make([]float64, len(y))
+	for i, v := range y {
+		y2[i] = -v
+	}
+	b.Reset()
+	if b.N() != 0 {
+		t.Fatalf("N() = %d after Reset, want 0", b.N())
+	}
+	if err := b.Append(X, y2); err != nil {
+		t.Fatal(err)
+	}
+	inc, err := b.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := FitOn(e, X, y2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePredictions(t, "post-reset refit", scratch, inc, X)
+}

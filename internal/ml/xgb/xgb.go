@@ -199,19 +199,6 @@ type treeGrower interface {
 	Grow(g, h []float64, rows []int, cols []int, opt tree.Options, leafOut []float64) *tree.Tree
 }
 
-// newGrower builds the per-fit training kernel selected by p: the
-// pre-sorted exact-greedy context by default, the histogram-binned
-// quantized matrix when p.Binned is set.
-func newGrower(e *score.Engine, X [][]float64, p Params) (treeGrower, error) {
-	if !p.Binned {
-		return tree.NewContext(e, X).Grower(e), nil
-	}
-	if p.MaxBins < 0 || p.MaxBins == 1 || p.MaxBins > tree.MaxBins {
-		return nil, fmt.Errorf("xgb: MaxBins must be 0 or in [2, %d], got %d", tree.MaxBins, p.MaxBins)
-	}
-	return tree.NewBinnedMatrix(e, X, p.MaxBins).Grower(e), nil
-}
-
 // FitOn trains like Fit with the engine supplying training parallelism
 // (nil engine: serial, exactly like PredictBatchOn). Feature columns are
 // pre-sorted once — X is static across all rounds — and every round's tree
@@ -232,77 +219,15 @@ func FitOn(e *score.Engine, X [][]float64, y []float64, p Params) (*Model, error
 	if n == 0 || len(X) != n {
 		return nil, fmt.Errorf("xgb: need matching non-empty X (%d) and y (%d)", len(X), n)
 	}
-	if p.Rounds <= 0 || p.LearningRate <= 0 {
-		return nil, fmt.Errorf("xgb: rounds and learning rate must be positive")
-	}
-	dim := len(X[0])
-	rng := rand.New(rand.NewPCG(p.Seed, 0x9e3779b97f4a7c15))
-
-	base := 0.0
-	for _, v := range y {
-		base += v
-	}
-	base /= float64(n)
-
-	m := &Model{base: base, eta: p.LearningRate}
-	m.trees = make([]*tree.Tree, 0, p.Rounds)
-	pred := make([]float64, n)
-	for i := range pred {
-		pred[i] = base
-	}
-	g := make([]float64, n)
-	h := make([]float64, n)
-	opt := tree.Options{MaxDepth: p.MaxDepth, MinChildWeight: p.MinChildWeight, Lambda: p.Lambda, Gamma: p.Gamma}
-
-	grower, err := newGrower(e, X, p)
+	b, err := NewBooster(e, p)
 	if err != nil {
 		return nil, err
 	}
-	// Round-loop buffers, hoisted: index buffers are refilled (not
-	// reallocated) per round, and leaf carries each training row's leaf
-	// value out of the grower so the prediction update never re-walks the
-	// tree for rows the fit just routed.
-	rowBuf := make([]int, n)
-	colBuf := make([]int, dim)
-	leaf := make([]float64, n)
-	subsampled := p.Subsample < 1 && p.Subsample > 0
-	var covered []bool
-	if subsampled {
-		covered = make([]bool, n)
-	}
-
-	for round := 0; round < p.Rounds; round++ {
-		for i := 0; i < n; i++ {
-			g[i] = pred[i] - y[i] // d/dpred ½(pred−y)²
-			h[i] = 1
-		}
-		rows := sampleIndices(rowBuf, p.Subsample, rng)
-		cols := sampleIndices(colBuf, p.ColSample, rng)
-		t := grower.Grow(g, h, rows, cols, opt, leaf)
-		m.trees = append(m.trees, t)
-		if len(rows) == n {
-			for i := 0; i < n; i++ {
-				pred[i] += p.LearningRate * leaf[i]
-			}
-			continue
-		}
-		// Subsampled round: rows in the tree carry their leaf assignment;
-		// only the held-out rows walk the tree.
-		for _, r := range rows {
-			covered[r] = true
-		}
-		for i := 0; i < n; i++ {
-			if covered[i] {
-				pred[i] += p.LearningRate * leaf[i]
-			} else {
-				pred[i] += p.LearningRate * t.Predict(X[i])
-			}
-		}
-		for _, r := range rows {
-			covered[r] = false
-		}
-	}
-	return m, nil
+	// Adopt the caller's rows directly: a one-shot booster never appends
+	// to or mutates them, and the round loop is Booster.Fit's, so this is
+	// the incremental trainer's first fit — same computation as ever.
+	b.X, b.y = X, y
+	return b.Fit()
 }
 
 // sampleIndices draws ceil(frac*n) distinct indices into buf (or all of
@@ -333,6 +258,38 @@ func (m *Model) Predict(x []float64) float64 {
 	return out
 }
 
+// PredictRow predicts one feature vector through the flattened ensemble:
+// the single-row form of PredictBatchOn for hot per-index scoring paths
+// (fused pool selection) that cannot batch. The flat leaves are the
+// pointer trees' values pre-scaled by eta, and trees accumulate in
+// ensemble order either way, so the result is bitwise identical to
+// Predict; ensembles too deep to flatten fall back to it directly.
+func (m *Model) PredictRow(x []float64) float64 {
+	m.flatten()
+	fe := m.flat
+	if fe == nil {
+		return m.Predict(x)
+	}
+	depth := fe.depth
+	inner, leafN := 1<<depth-1, 1<<depth
+	out := m.base
+	for t := 0; t < len(m.trees); t++ {
+		fb := fe.feats[t*inner : (t+1)*inner]
+		tb := fe.thresh[t*inner : (t+1)*inner : (t+1)*inner]
+		lb := fe.leaves[t*leafN : (t+1)*leafN : (t+1)*leafN]
+		j := 0
+		for d := 0; d < depth; d++ {
+			b := 1
+			if x[fb[j]] < tb[j] {
+				b = 0
+			}
+			j = 2*j + 1 + b
+		}
+		out += lb[j-inner]
+	}
+	return out
+}
+
 // PredictBatch predicts for every row of X.
 func (m *Model) PredictBatch(X [][]float64) []float64 {
 	return m.PredictBatchOn(nil, X)
@@ -347,8 +304,16 @@ func (m *Model) PredictBatch(X [][]float64) []float64 {
 // abreast so per-level load latency overlaps across rows instead of
 // serializing one level at a time.
 func (m *Model) PredictBatchOn(e *score.Engine, X [][]float64) []float64 {
-	m.flatten()
 	out := make([]float64, len(X))
+	m.PredictBatchOnInto(e, X, out)
+	return out
+}
+
+// PredictBatchOnInto is PredictBatchOn writing into a caller-provided
+// slice (len(out) == len(X)) — the allocation-free form for callers that
+// recycle their output buffer across iterations.
+func (m *Model) PredictBatchOnInto(e *score.Engine, X [][]float64, out []float64) {
+	m.flatten()
 	fe := m.flat
 	if fe == nil { // ensemble too deep to pad: original per-row walk
 		e.MapChunks(len(X), func(lo, hi int) {
@@ -356,7 +321,7 @@ func (m *Model) PredictBatchOn(e *score.Engine, X [][]float64) []float64 {
 				out[i] = m.Predict(X[i])
 			}
 		})
-		return out
+		return
 	}
 	depth := fe.depth
 	inner, leafN := 1<<depth-1, 1<<depth
@@ -410,7 +375,6 @@ func (m *Model) PredictBatchOn(e *score.Engine, X [][]float64) []float64 {
 			}
 		}
 	})
-	return out
 }
 
 // PredictBatchQuantizedOn predicts every row of a quantized pool matrix
@@ -420,8 +384,15 @@ func (m *Model) PredictBatchOn(e *score.Engine, X [][]float64) []float64 {
 // quantized pool the outputs are bitwise identical to scoring the float
 // rows, while the cached pool stays ~8× smaller.
 func (m *Model) PredictBatchQuantizedOn(e *score.Engine, q *score.Quantized) []float64 {
-	m.flatten()
 	out := make([]float64, q.N)
+	m.PredictBatchQuantizedOnInto(e, q, out)
+	return out
+}
+
+// PredictBatchQuantizedOnInto is PredictBatchQuantizedOn writing into a
+// caller-provided slice (len(out) == q.N).
+func (m *Model) PredictBatchQuantizedOnInto(e *score.Engine, q *score.Quantized, out []float64) {
+	m.flatten()
 	fe := m.flat
 	e.MapChunks(q.N, func(lo, hi int) {
 		buf := make([]float64, q.Dim)
@@ -451,7 +422,6 @@ func (m *Model) PredictBatchQuantizedOn(e *score.Engine, q *score.Quantized) []f
 			out[i] = o
 		}
 	})
-	return out
 }
 
 // Rounds returns the number of trees in the ensemble.

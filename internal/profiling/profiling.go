@@ -1,0 +1,74 @@
+// Package profiling wires the standard pprof endpoints and profile
+// writers into the ceal binaries behind explicit flags, so production
+// deployments pay nothing unless asked: the daemons (ceal-serve,
+// ceal-worker) expose /debug/pprof only with -pprof, and the batch CLI
+// (ceal-tune) writes CPU/heap profiles only with -cpuprofile /
+// -memprofile.
+package profiling
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+)
+
+// Wrap returns app unchanged when enable is false; otherwise a mux that
+// serves the /debug/pprof endpoints and routes everything else to app.
+// The app handler keeps owning "/" — only the pprof prefix is diverted,
+// so enabling profiling cannot shadow an API route.
+func Wrap(app http.Handler, enable bool) http.Handler {
+	if !enable {
+		return app
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", app)
+	return mux
+}
+
+// StartCPU begins a CPU profile to path and returns a stop function that
+// finishes the profile and closes the file. With an empty path it is a
+// no-op returning a nil-safe stop.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: cpu profile: %w", err)
+	}
+	if err := rpprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiling: cpu profile: %w", err)
+	}
+	return func() {
+		rpprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap garbage-collects and writes an allocs-inclusive heap profile
+// to path (no-op when empty), capturing the steady-state picture after a
+// run rather than a mid-GC snapshot.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := rpprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("profiling: heap profile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package profiling
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWrapDisabledReturnsAppUnchanged(t *testing.T) {
+	app := http.NewServeMux()
+	if got := Wrap(app, false); got != http.Handler(app) {
+		t.Fatal("Wrap(false) must return the app handler itself")
+	}
+}
+
+func TestWrapServesPprofAndRoutesApp(t *testing.T) {
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	})
+	srv := httptest.NewServer(Wrap(app, true))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof heap endpoint returned %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("app route returned %d, want %d", resp.StatusCode, http.StatusTeapot)
+	}
+}
+
+func TestProfileWritersEmptyPathNoop(t *testing.T) {
+	stop, err := StartCPU("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if err := WriteHeap(""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileWritersProduceFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	heap := filepath.Join(dir, "heap.out")
+
+	stop, err := StartCPU(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if err := WriteHeap(heap); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, heap} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err %v)", p, err)
+		}
+	}
+}

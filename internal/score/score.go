@@ -46,33 +46,59 @@ func (e *Engine) Workers() int {
 	return e.workers
 }
 
-// MapChunks covers [0, n) with fixed contiguous chunks, one goroutine per
-// chunk, and waits for all of them. fn must write only state owned by its
-// index range. Small batches and serial engines run inline.
-func (e *Engine) MapChunks(n int, fn func(lo, hi int)) {
+// ChunkLayout reports the chunk decomposition MapChunks would use for a
+// batch of n: the chunk size and the number of chunks. Serial engines and
+// small batches report one chunk covering everything. Callers that keep
+// per-chunk scratch (streamed scoring buffers, bounded top-k heaps) size it
+// from this so their layout matches the engine's fan exactly — the layout
+// depends only on n and the worker count, never on scheduling.
+func (e *Engine) ChunkLayout(n int) (size, count int) {
 	if n <= 0 {
-		return
+		return 0, 0
 	}
 	w := e.Workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 || n < minParallel {
-		fn(0, n)
+		return n, 1
+	}
+	size = (n + w - 1) / w
+	return size, (n + size - 1) / size
+}
+
+// MapChunks covers [0, n) with fixed contiguous chunks, one goroutine per
+// chunk, and waits for all of them. fn must write only state owned by its
+// index range. Small batches and serial engines run inline.
+func (e *Engine) MapChunks(n int, fn func(lo, hi int)) {
+	e.MapChunksIndexed(n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// MapChunksIndexed is MapChunks with the chunk ordinal exposed: fn receives
+// (ci, lo, hi) where ci counts chunks from 0 in index order, matching
+// ChunkLayout. The ordinal lets fn address per-chunk scratch without
+// deriving it from lo, which would couple callers to the chunk size.
+func (e *Engine) MapChunksIndexed(n int, fn func(ci, lo, hi int)) {
+	size, count := e.ChunkLayout(n)
+	if count == 0 {
 		return
 	}
-	chunk := (n + w - 1) / w
+	if count == 1 {
+		fn(0, 0, n)
+		return
+	}
 	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
+	for ci := 0; ci < count; ci++ {
+		lo := ci * size
+		hi := lo + size
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(ci, lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+			fn(ci, lo, hi)
+		}(ci, lo, hi)
 	}
 	wg.Wait()
 }

@@ -93,7 +93,7 @@ func (s *alStrategy) Fit(st *State, _ []Sample) (bool, error) {
 func (s *alStrategy) ModelRounds() int { return s.model.Rounds() }
 
 func (s *alStrategy) FinalScores(st *State) ([]float64, error) {
-	return s.model.PredictPool(st.Problem.Pool), nil
+	return s.model.PredictPoolInto(st.Problem.Pool, st.finalScoreBuf()), nil
 }
 
 func (s *alStrategy) FinalImportance(st *State) []float64 {

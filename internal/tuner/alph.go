@@ -130,7 +130,7 @@ func (s *alphStrategy) Fit(st *State, _ []Sample) (bool, error) {
 func (s *alphStrategy) ModelRounds() int { return s.model.Rounds() }
 
 func (s *alphStrategy) FinalScores(st *State) ([]float64, error) {
-	return s.model.PredictPool(st.Problem.Pool), nil
+	return s.model.PredictPoolInto(st.Problem.Pool, st.finalScoreBuf()), nil
 }
 
 func (s *alphStrategy) FinalImportance(st *State) []float64 {

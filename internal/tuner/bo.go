@@ -86,13 +86,14 @@ func (s *boStrategy) SelectBatch(st *State) ([]cfgspace.Config, error) {
 	p := st.Problem
 	// Acquire by negative EI so takeTop (which minimizes) picks the
 	// highest expected improvement. Candidate features come from the
-	// problem's cached pool matrix, looked up by pool index.
-	acq := func(_ []cfgspace.Config, idxs []int) []float64 {
-		X := p.poolFeatures()
-		return p.engine().Floats(len(idxs), func(i int) float64 {
-			mean, std := s.f.PredictWithStd(X[idxs[i]])
-			return -expectedImprovement(s.bestLog, mean, std)
-		})
+	// problem's cached pool matrix, looked up by pool index; the fused
+	// selector supplies the parallelism.
+	X := p.poolFeatures()
+	acq := func(idxs []int, out []float64) {
+		for j, idx := range idxs {
+			mean, std := s.f.PredictWithStd(X[idx])
+			out[j] = -expectedImprovement(s.bestLog, mean, std)
+		}
 	}
 	return st.Tracker.takeTop(n, acq), nil
 }

@@ -265,7 +265,7 @@ func (s *cealStrategy) Fit(st *State, _ []Sample) (bool, error) {
 func (s *cealStrategy) ModelRounds() int { return s.high.Rounds() }
 
 func (s *cealStrategy) FinalScores(st *State) ([]float64, error) {
-	return s.high.PredictPool(st.Problem.Pool), nil
+	return s.high.PredictPoolInto(st.Problem.Pool, st.finalScoreBuf()), nil
 }
 
 func (s *cealStrategy) FinalImportance(st *State) []float64 {

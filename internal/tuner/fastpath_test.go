@@ -1,0 +1,145 @@
+package tuner
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"ceal/internal/cfgspace"
+)
+
+// takeTopReference is the pre-fusion selector kept verbatim as the test
+// oracle: materialize every remaining score, full-sort the positions under
+// (score, position), take the prefix, and remove the taken positions by
+// descending-position swap-remove. The fused takeTop must reproduce both
+// its returned batch and the exact post-removal remaining array.
+func takeTopReference(t *poolTracker, n int, score poolScorer) []cfgspace.Config {
+	m := len(t.remaining)
+	if n > m {
+		n = m
+	}
+	if n <= 0 {
+		return nil
+	}
+	scores := make([]float64, m)
+	score(t.remaining, scores)
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] < scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	out := make([]cfgspace.Config, n)
+	taken := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = t.p.Pool[t.remaining[order[i]]]
+		taken[i] = order[i]
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(taken)))
+	for _, pos := range taken {
+		t.remaining[pos] = t.remaining[len(t.remaining)-1]
+		t.remaining = t.remaining[:len(t.remaining)-1]
+	}
+	return out
+}
+
+// TestTakeTopMatchesReference pins the fused chunk-heap selector to the
+// reference full-sort selector: same returned configurations and the same
+// remaining array element for element (so follow-on takeRandom draws are
+// unchanged), across worker counts, request sizes, tie-heavy scores, and
+// repeated drains of one tracker.
+func TestTakeTopMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 71))
+	for _, workers := range []int{1, 2, 4, 8} {
+		for trial := 0; trial < 25; trial++ {
+			poolN := 40 + rng.IntN(400)
+			p := synthProblem(uint64(trial), poolN)
+			p.Workers = workers
+			// Deterministic per-pool-index scores with heavy ties, exercising
+			// the position tie-break throughout.
+			mod := 2 + trial%9
+			scorer := func(idxs []int, out []float64) {
+				for j, idx := range idxs {
+					out[j] = float64(idx % mod)
+				}
+			}
+			fused := newPoolTracker(p, newRunArena())
+			ref := newPoolTracker(p, newRunArena())
+			for len(fused.remaining) > 0 {
+				n := 1 + rng.IntN(poolN/3+1)
+				got := fused.takeTop(n, scorer)
+				want := takeTopReference(ref, n, scorer)
+				if len(got) != len(want) {
+					t.Fatalf("workers=%d trial=%d: took %d configs, reference %d", workers, trial, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Key() != want[i].Key() {
+						t.Fatalf("workers=%d trial=%d: batch[%d] = %v, reference %v", workers, trial, i, got[i], want[i])
+					}
+				}
+				if len(fused.remaining) != len(ref.remaining) {
+					t.Fatalf("workers=%d trial=%d: %d remaining, reference %d", workers, trial, len(fused.remaining), len(ref.remaining))
+				}
+				for i := range ref.remaining {
+					if fused.remaining[i] != ref.remaining[i] {
+						t.Fatalf("workers=%d trial=%d: remaining[%d] = %d, reference %d (removal order diverged)",
+							workers, trial, i, fused.remaining[i], ref.remaining[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedSelectionIdenticalAcrossWorkerCounts extends the determinism
+// oracle to every worker count the fused selector chunks differently at
+// the test pool size: all algorithms, workers 1/2/4/8, byte-identical
+// Results end to end.
+func TestFusedSelectionIdenticalAcrossWorkerCounts(t *testing.T) {
+	const (
+		seed   = 43
+		pool   = 260
+		budget = 20
+	)
+	for _, alg := range allAlgorithms() {
+		run := func(workers int) *Result {
+			p := synthProblem(seed, pool)
+			p.Workers = workers
+			res, err := alg.Tune(p, budget)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", alg.Name(), workers, err)
+			}
+			return res
+		}
+		ref := run(1)
+		for _, w := range []int{2, 4, 8} {
+			got := run(w)
+			if got.Best.Key() != ref.Best.Key() {
+				t.Errorf("%s workers=%d: Best %v, serial Best %v", alg.Name(), w, got.Best, ref.Best)
+			}
+			for i := range ref.PoolScores {
+				if math.Float64bits(got.PoolScores[i]) != math.Float64bits(ref.PoolScores[i]) {
+					t.Errorf("%s workers=%d: PoolScores[%d] = %v, serial %v",
+						alg.Name(), w, i, got.PoolScores[i], ref.PoolScores[i])
+					break
+				}
+			}
+			if len(got.Samples) != len(ref.Samples) {
+				t.Fatalf("%s workers=%d: measured %d samples, serial %d",
+					alg.Name(), w, len(got.Samples), len(ref.Samples))
+			}
+			for i := range ref.Samples {
+				if got.Samples[i].Cfg.Key() != ref.Samples[i].Cfg.Key() ||
+					math.Float64bits(got.Samples[i].Value) != math.Float64bits(ref.Samples[i].Value) {
+					t.Errorf("%s workers=%d: sample %d diverged from serial", alg.Name(), w, i)
+					break
+				}
+			}
+		}
+	}
+}

@@ -198,7 +198,7 @@ func (s *geistStrategy) FinalScores(st *State) ([]float64, error) {
 			Rounds:     s.model.Rounds(),
 		})
 	}
-	return s.model.PredictPool(st.Problem.Pool), nil
+	return s.model.PredictPoolInto(st.Problem.Pool, st.finalScoreBuf()), nil
 }
 
 func (s *geistStrategy) FinalImportance(st *State) []float64 {

@@ -58,7 +58,11 @@ type State struct {
 	// strategies consume it through TrainingSamples and must not mutate it.
 	Prior []Sample
 
-	obs      events.Observer
+	obs events.Observer
+	// arena is the run's reusable scratch pool (see runArena): the Loop
+	// creates it with the State and shares it with the Tracker, and
+	// strategies reach it through helpers like finalScoreBuf.
+	arena    *runArena
 	bestVal  float64
 	bestCfg  cfgspace.Config
 	hasBest  bool
@@ -67,6 +71,14 @@ type State struct {
 
 // Remaining returns the workflow-run budget not yet spent.
 func (s *State) Remaining() int { return s.Budget - len(s.Samples) }
+
+// finalScoreBuf returns the arena's pool-length scores buffer for
+// FinalScores implementations (a fresh slice when no arena is attached —
+// hand-built States in tests). The buffer may escape into the Result; the
+// arena's ownership rules make that sound.
+func (s *State) finalScoreBuf() []float64 {
+	return s.arena.poolScores(len(s.Problem.Pool))
+}
 
 // Observing reports whether an observer is attached. Strategies should
 // guard event construction with it so the nil-observer path stays
@@ -153,13 +165,15 @@ func (l *Loop) Run(p *Problem, budget int) (*Result, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
+	arena := newRunArena()
 	st := &State{
 		Problem:    p,
 		Rng:        rand.New(rand.NewPCG(p.Seed, l.Salt)),
-		Tracker:    newPoolTracker(p),
+		Tracker:    newPoolTracker(p, arena),
 		Budget:     budget,
 		SwitchIter: -1,
 		obs:        p.Observer,
+		arena:      arena,
 	}
 	if st.obs != nil {
 		st.Emit(&events.RunStarted{

@@ -279,16 +279,14 @@ func TestFinishCopiesSamples(t *testing.T) {
 // and tie-breaking consistency with metrics.TopIndices.
 func TestPoolTrackerEdgeCases(t *testing.T) {
 	p := synthProblem(9, 20)
-	byIndex := func(cfgs []cfgspace.Config, idxs []int) []float64 {
-		vals := make([]float64, len(idxs))
+	byIndex := func(idxs []int, out []float64) {
 		for i, idx := range idxs {
-			vals[i] = float64(idx)
+			out[i] = float64(idx)
 		}
-		return vals
 	}
 
 	t.Run("takeTop oversized request clamps to remaining", func(t *testing.T) {
-		tr := newPoolTracker(p)
+		tr := newPoolTracker(p, newRunArena())
 		got := tr.takeTop(len(p.Pool)+10, byIndex)
 		if len(got) != len(p.Pool) {
 			t.Fatalf("took %d configs, want %d", len(got), len(p.Pool))
@@ -299,7 +297,7 @@ func TestPoolTrackerEdgeCases(t *testing.T) {
 	})
 
 	t.Run("takeTop non-positive request is a no-op", func(t *testing.T) {
-		tr := newPoolTracker(p)
+		tr := newPoolTracker(p, newRunArena())
 		for _, n := range []int{0, -3} {
 			if got := tr.takeTop(n, byIndex); got != nil {
 				t.Errorf("takeTop(%d) = %v, want nil", n, got)
@@ -311,7 +309,7 @@ func TestPoolTrackerEdgeCases(t *testing.T) {
 	})
 
 	t.Run("exhausted pool yields empty batches", func(t *testing.T) {
-		tr := newPoolTracker(p)
+		tr := newPoolTracker(p, newRunArena())
 		rng := newTestRNG(1)
 		if got := tr.takeRandom(len(p.Pool), rng); len(got) != len(p.Pool) {
 			t.Fatalf("takeRandom drained %d, want %d", len(got), len(p.Pool))
@@ -327,10 +325,12 @@ func TestPoolTrackerEdgeCases(t *testing.T) {
 	t.Run("tie-break matches metrics.TopIndices", func(t *testing.T) {
 		// All-tied scores: takeTop must pick the same configurations, in the
 		// same order, as the recall metric's ranking (ties break by index).
-		tied := func(cfgs []cfgspace.Config, idxs []int) []float64 {
-			return make([]float64, len(idxs))
+		tied := func(idxs []int, out []float64) {
+			for i := range out {
+				out[i] = 0
+			}
 		}
-		tr := newPoolTracker(p)
+		tr := newPoolTracker(p, newRunArena())
 		got := tr.takeTop(7, tied)
 		want := metrics.TopIndices(7, make([]float64, len(p.Pool)))
 		for i := range got {

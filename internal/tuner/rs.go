@@ -36,7 +36,7 @@ func (s *rsStrategy) Fit(st *State, _ []Sample) (bool, error) {
 func (s *rsStrategy) ModelRounds() int { return s.model.Rounds() }
 
 func (s *rsStrategy) FinalScores(st *State) ([]float64, error) {
-	return s.model.PredictPool(st.Problem.Pool), nil
+	return s.model.PredictPoolInto(st.Problem.Pool, st.finalScoreBuf()), nil
 }
 
 func (s *rsStrategy) FinalImportance(st *State) []float64 {

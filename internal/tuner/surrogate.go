@@ -22,6 +22,14 @@ type Surrogate struct {
 	eng    *score.Engine
 	mat    *score.Matrix       // featurized-pool cache (shared per problem for the workflow featurizer)
 	qmat   *score.BinnedMatrix // quantized-pool cache, used instead of mat when params.Binned and lossless
+
+	// Incremental-refit state: the booster retains the featurized training
+	// matrix, the (pre-sorted or quantized) kernel, and all round buffers
+	// across fits, and rowCfg/rowY remember which sample prefix it was
+	// trained on so Train can detect when only a suffix is new.
+	boost  *xgb.Booster
+	rowCfg []*int    // head pointer of each trained sample's Cfg (prefix identity)
+	rowY   []float64 // log-space target of each trained sample
 }
 
 // newSurrogate builds an untrained surrogate over the problem's workflow
@@ -55,23 +63,69 @@ func (s *Surrogate) quantizedPool(pool []cfgspace.Config) *score.Quantized {
 // Trained reports whether Train has succeeded at least once.
 func (s *Surrogate) Trained() bool { return s.model != nil }
 
-// Train (re)fits the surrogate on the samples.
+// Train (re)fits the surrogate on the samples. Refits are incremental:
+// when samples extends the previously trained set — the same prefix
+// (checked by Cfg backing-array identity and log-target equality) plus
+// new rows, the shape every iteration of the shared Loop produces, and
+// also HyBoost's residual refits, whose ratio targets are stable — only
+// the suffix is featurized and appended, and the booster's kernel extends
+// itself instead of rebuilding. Any other change (reshuffled training
+// halves, revised targets) resets to a full fit. Either way the fitted
+// model is bitwise identical to a from-scratch xgb.FitOn on samples.
 func (s *Surrogate) Train(samples []Sample) error {
 	if len(samples) == 0 {
 		return fmt.Errorf("tuner: cannot train surrogate on zero samples")
 	}
-	X := make([][]float64, len(samples))
-	y := make([]float64, len(samples))
-	for i, smp := range samples {
-		X[i] = s.feats(smp.Cfg)
-		y[i] = logTarget(smp.Value)
+	if s.boost == nil {
+		b, err := xgb.NewBooster(s.eng, s.params)
+		if err != nil {
+			return err
+		}
+		s.boost = b
 	}
-	m, err := xgb.FitOn(s.eng, X, y, s.params)
+	n := s.boost.N()
+	reuse := len(samples) >= n
+	for i := 0; reuse && i < n; i++ {
+		if cfgHead(samples[i].Cfg) != s.rowCfg[i] || logTarget(samples[i].Value) != s.rowY[i] {
+			reuse = false
+		}
+	}
+	if !reuse {
+		s.boost.Reset()
+		s.rowCfg = s.rowCfg[:0]
+		s.rowY = s.rowY[:0]
+		n = 0
+	}
+	if fresh := samples[n:]; len(fresh) > 0 {
+		X := make([][]float64, len(fresh))
+		y := make([]float64, len(fresh))
+		for i, smp := range fresh {
+			X[i] = s.feats(smp.Cfg)
+			y[i] = logTarget(smp.Value)
+			s.rowCfg = append(s.rowCfg, cfgHead(smp.Cfg))
+			s.rowY = append(s.rowY, y[i])
+		}
+		if err := s.boost.Append(X, y); err != nil {
+			return err
+		}
+	}
+	m, err := s.boost.Fit()
 	if err != nil {
 		return err
 	}
 	s.model = m
 	return nil
+}
+
+// cfgHead identifies a configuration by its backing array: two Samples
+// whose Cfg slices share a head are the same measurement record (configs
+// are immutable for a run), which is what lets Train trust a prefix
+// without comparing values element by element.
+func cfgHead(c cfgspace.Config) *int {
+	if len(c) == 0 {
+		return nil
+	}
+	return &c[0]
 }
 
 // Rounds returns the trained ensemble's boosting-round count (0 if
@@ -103,15 +157,22 @@ func (s *Surrogate) Importance(dim int) []float64 {
 // PredictPool predicts for every pool configuration, reusing the cached
 // feature matrix and fanning ensemble evaluation across the engine.
 func (s *Surrogate) PredictPool(pool []cfgspace.Config) []float64 {
+	return s.PredictPoolInto(pool, make([]float64, len(pool)))
+}
+
+// PredictPoolInto is PredictPool writing into a caller-provided slice
+// (len(out) == len(pool)) and returning it — FinalScores implementations
+// pass the run arena's buffer so the per-iteration prediction pass stops
+// allocating pool-sized slices.
+func (s *Surrogate) PredictPoolInto(pool []cfgspace.Config, out []float64) []float64 {
 	if s.model == nil {
 		panic("tuner: PredictPool on untrained surrogate")
 	}
-	var out []float64
 	if q := s.quantizedPool(pool); q != nil {
-		out = s.model.PredictBatchQuantizedOn(s.eng, q)
+		s.model.PredictBatchQuantizedOnInto(s.eng, q, out)
 	} else {
 		X := s.mat.Rows(s.eng, pool, s.feats)
-		out = s.model.PredictBatchOn(s.eng, X)
+		s.model.PredictBatchOnInto(s.eng, X, out)
 	}
 	for i, v := range out {
 		out[i] = unlogTarget(v)
@@ -132,28 +193,28 @@ func (s *Surrogate) PredictBatch(cfgs []cfgspace.Config) []float64 {
 
 // poolScorer returns a candidate scorer over p.Pool indices backed by the
 // surrogate's cached feature matrix, so per-iteration ranking never
-// re-featurizes the pool.
+// re-featurizes the pool. The fused selector supplies the parallelism;
+// per-index predictions go through the flattened ensemble (PredictRow),
+// bitwise identical to the pointer-tree walk.
 func (s *Surrogate) poolScorer(p *Problem) poolScorer {
-	return func(cfgs []cfgspace.Config, idxs []int) []float64 {
-		if s.model == nil {
-			panic("tuner: poolScorer on untrained surrogate")
+	if s.model == nil {
+		panic("tuner: poolScorer on untrained surrogate")
+	}
+	if q := s.quantizedPool(p.Pool); q != nil {
+		// Decode rows into a per-call buffer: calls arrive per score block,
+		// never sharing scratch across the selector's concurrent chunks.
+		return func(idxs []int, out []float64) {
+			buf := make([]float64, q.Dim)
+			for j, idx := range idxs {
+				out[j] = unlogTarget(s.model.PredictRow(q.Row(idx, buf)))
+			}
 		}
-		if q := s.quantizedPool(p.Pool); q != nil {
-			// Decode per chunk and walk the pointer trees — the same
-			// m.Predict the float path runs, over bitwise-identical rows.
-			out := make([]float64, len(idxs))
-			s.eng.MapChunks(len(idxs), func(lo, hi int) {
-				buf := make([]float64, q.Dim)
-				for i := lo; i < hi; i++ {
-					out[i] = unlogTarget(s.model.Predict(q.Row(idxs[i], buf)))
-				}
-			})
-			return out
+	}
+	X := s.mat.Rows(s.eng, p.Pool, s.feats)
+	return func(idxs []int, out []float64) {
+		for j, idx := range idxs {
+			out[j] = unlogTarget(s.model.PredictRow(X[idx]))
 		}
-		X := s.mat.Rows(s.eng, p.Pool, s.feats)
-		return s.eng.Floats(len(idxs), func(i int) float64 {
-			return unlogTarget(s.model.Predict(X[idxs[i]]))
-		})
 	}
 }
 

@@ -48,7 +48,8 @@ func TestSurrogateBinnedPoolScoringMatchesFloat(t *testing.T) {
 	for i := range idxs {
 		idxs[i] = i
 	}
-	binnedScores := scorer(p.Pool, idxs)
+	binnedScores := make([]float64, len(idxs))
+	scorer(idxs, binnedScores)
 
 	// Same model, float path: flipping the kernel flag only changes how
 	// the pool rows reach the ensemble.
@@ -57,7 +58,8 @@ func TestSurrogateBinnedPoolScoringMatchesFloat(t *testing.T) {
 		t.Fatal("quantized path active with Binned off")
 	}
 	floatPool := s.PredictPool(p.Pool)
-	floatScores := s.poolScorer(p)(p.Pool, idxs)
+	floatScores := make([]float64, len(idxs))
+	s.poolScorer(p)(idxs, floatScores)
 
 	for i := range floatPool {
 		if math.Float64bits(binnedPool[i]) != math.Float64bits(floatPool[i]) {

@@ -21,7 +21,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"sort"
+	"slices"
 	"sync"
 
 	"ceal/internal/acm"
@@ -219,29 +219,32 @@ func (p *Problem) poolFeatures() [][]float64 {
 	return p.poolMat.Rows(p.engine(), p.Pool, p.features)
 }
 
-// poolScorer scores a candidate batch in one call: cfgs are pool
-// configurations and idxs their indices into Problem.Pool, so scorers
-// backed by the cached feature matrix can look rows up instead of
-// re-featurizing. Scorers must fill index-ordered output (score.Engine's
-// contract), which keeps rankings identical for any worker count.
-type poolScorer func(cfgs []cfgspace.Config, idxs []int) []float64
+// poolScorer scores pool configurations by index: it fills out[j] with
+// the score of Problem.Pool[idxs[j]] for every j (len(out) == len(idxs)).
+// The fused selector streams index blocks through the scorer from
+// concurrent chunk goroutines, so a scorer must be safe for concurrent
+// read-only calls and each index's score must be a pure function of the
+// index — independent of which block or chunk presents it — which is what
+// keeps rankings bitwise identical for any worker count.
+type poolScorer func(idxs []int, out []float64)
 
-// scoreByConfig lifts a per-configuration scorer to a poolScorer on the
-// problem's engine. The scorer must be safe for concurrent read-only
-// calls (all model Predict paths in this repository are).
+// scoreByConfig lifts a per-configuration scorer to a poolScorer. The
+// scorer must be safe for concurrent read-only calls (all model Predict
+// paths in this repository are); the selector supplies the parallelism.
 func (p *Problem) scoreByConfig(score func(cfgspace.Config) float64) poolScorer {
-	eng := p.engine()
-	return func(cfgs []cfgspace.Config, _ []int) []float64 {
-		return eng.Floats(len(cfgs), func(i int) float64 { return score(cfgs[i]) })
+	return func(idxs []int, out []float64) {
+		for j, idx := range idxs {
+			out[j] = score(p.Pool[idx])
+		}
 	}
 }
 
-// lowFiScorer ranks candidates with the white-box model on the problem's
-// scoring engine.
+// lowFiScorer ranks candidates with the white-box model.
 func (p *Problem) lowFiScorer(lf *acm.LowFidelity) poolScorer {
-	eng := p.engine()
-	return func(cfgs []cfgspace.Config, _ []int) []float64 {
-		return lf.ScoreBatchOn(eng, cfgs)
+	return func(idxs []int, out []float64) {
+		for j, idx := range idxs {
+			out[j] = lf.Score(p.Pool[idx])
+		}
 	}
 }
 
@@ -408,15 +411,16 @@ func finish(p *Problem, scores []float64, samples []Sample, compSamples [][]Samp
 // poolTracker manages the not-yet-measured portion of the pool.
 type poolTracker struct {
 	p         *Problem
+	arena     *runArena
 	remaining []int // indices into p.Pool
 }
 
-func newPoolTracker(p *Problem) *poolTracker {
+func newPoolTracker(p *Problem, arena *runArena) *poolTracker {
 	idx := make([]int, len(p.Pool))
 	for i := range idx {
 		idx[i] = i
 	}
-	return &poolTracker{p: p, remaining: idx}
+	return &poolTracker{p: p, arena: arena, remaining: idx}
 }
 
 // takeRandom removes up to n random configurations and returns them.
@@ -434,50 +438,142 @@ func (t *poolTracker) takeRandom(n int, rng *rand.Rand) []cfgspace.Config {
 	return out
 }
 
+// selectBlock is the fused selector's streaming granularity: each chunk
+// scores this many candidates at a time into a reused block, so no
+// full-pool score slice ever materializes.
+const selectBlock = 512
+
+// topkEntry is one candidate in the fused selector's bounded top-k: its
+// score and its position in the tracker's remaining slice.
+type topkEntry struct {
+	val float64
+	pos int32
+}
+
+// entryLess is the selection order: best (lowest) score first, position
+// tie-break — the same strict total order the old full sort used, and the
+// same tie-break as metrics.TopIndices. Positions are unique, so the
+// order is total and every selection step is deterministic.
+func entryLess(a, b topkEntry) bool {
+	if a.val != b.val {
+		return a.val < b.val
+	}
+	return a.pos < b.pos
+}
+
+// heapDown restores the max-heap property (worst entry at the root, under
+// entryLess) from index i down.
+func heapDown(h []topkEntry, i int) {
+	for {
+		c := 2*i + 1
+		if c >= len(h) {
+			return
+		}
+		if c+1 < len(h) && entryLess(h[c], h[c+1]) {
+			c++
+		}
+		if !entryLess(h[i], h[c]) {
+			return
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+}
+
+// heapUp restores the max-heap property from index i up.
+func heapUp(h []topkEntry, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(h[parent], h[i]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
 // takeTop removes the n remaining configurations with the best (lowest)
-// scores under the batch scorer and returns them. Scoring the whole
-// remaining set in one call lets model inference fan across the scoring
-// engine and reuse the cached feature matrix.
+// scores under the batch scorer and returns them, fused with the scoring
+// pass: each engine chunk streams its candidates through the scorer in
+// selectBlock-sized blocks and folds them into a bounded max-heap of the
+// chunk's n best, so the pass is O(m + k·n log n) with no full score
+// slice, full config copy, or full sort — against the old full
+// materialize-and-sort this is the difference between touching n entries
+// and touching every remaining entry per iteration.
+//
+// Determinism: per-index scores are pure (poolScorer contract) and chunk
+// boundaries depend only on (m, workers), so each chunk's heap holds a
+// worker-count-independent set; the serial merge then picks the global n
+// best under the strict total order entryLess, which is exactly the old
+// sort's prefix, and the removal is the old descending-position
+// swap-remove verbatim — so the surviving array, and every follow-on RNG
+// draw, is unchanged (pinned by TestTakeTopMatchesReference).
 func (t *poolTracker) takeTop(n int, score poolScorer) []cfgspace.Config {
-	if n > len(t.remaining) {
-		n = len(t.remaining)
+	m := len(t.remaining)
+	if n > m {
+		n = m
 	}
 	if n <= 0 {
 		return nil
 	}
-	cfgs := make([]cfgspace.Config, len(t.remaining))
-	for i, idx := range t.remaining {
-		cfgs[i] = t.p.Pool[idx]
-	}
-	vals := score(cfgs, t.remaining)
-	type scored struct {
-		pos int // position in remaining
-		val float64
-	}
-	ss := make([]scored, len(t.remaining))
-	for i := range t.remaining {
-		ss[i] = scored{pos: i, val: vals[i]}
-	}
-	// Sort by score with position tie-break (deterministic, matching
-	// metrics.TopIndices) and take the n best — O(n log n) against the old
-	// O(n·k) selection sort, which dominated the hot path at pool size 2000.
-	sort.Slice(ss, func(a, b int) bool {
-		if ss[a].val != ss[b].val {
-			return ss[a].val < ss[b].val
+	eng := t.p.engine()
+	_, nc := eng.ChunkLayout(m)
+	heaps := t.arena.topkHeaps(nc, n)
+	blocks := t.arena.scoreBlocks(nc)
+	eng.MapChunksIndexed(m, func(ci, lo, hi int) {
+		heap := heaps[ci]
+		block := blocks[ci]
+		for blo := lo; blo < hi; blo += selectBlock {
+			bhi := min(blo+selectBlock, hi)
+			out := block[:bhi-blo]
+			score(t.remaining[blo:bhi], out)
+			for j, v := range out {
+				e := topkEntry{val: v, pos: int32(blo + j)}
+				if len(heap) < n {
+					heap = append(heap, e)
+					heapUp(heap, len(heap)-1)
+				} else if entryLess(e, heap[0]) {
+					heap[0] = e
+					heapDown(heap, 0)
+				}
+			}
 		}
-		return ss[a].pos < ss[b].pos
+		heaps[ci] = heap
 	})
-	out := make([]cfgspace.Config, n)
-	kill := make([]int, n)
-	for i := 0; i < n; i++ {
-		out[i] = t.p.Pool[t.remaining[ss[i].pos]]
-		kill[i] = ss[i].pos
+
+	// Serial merge: at most nc·n survivors, sorted under the total order.
+	// The sort's instability is irrelevant — positions are unique.
+	cand := t.arena.candBuf()
+	for _, h := range heaps {
+		cand = append(cand, h...)
 	}
-	// Remove taken positions (descending to keep indices valid).
-	sort.Sort(sort.Reverse(sort.IntSlice(kill)))
-	for _, pos := range kill {
-		t.remaining[pos] = t.remaining[len(t.remaining)-1]
-		t.remaining = t.remaining[:len(t.remaining)-1]
+	t.arena.cand = cand
+	slices.SortFunc(cand, func(a, b topkEntry) int {
+		if a.val != b.val {
+			if a.val < b.val {
+				return -1
+			}
+			return 1
+		}
+		return int(a.pos) - int(b.pos)
+	})
+
+	out := make([]cfgspace.Config, n)
+	kill := t.arena.killBuf(n)
+	for i := 0; i < n; i++ {
+		out[i] = t.p.Pool[t.remaining[cand[i].pos]]
+		kill[i] = cand[i].pos
+	}
+	slices.Sort(kill)
+
+	// Remove the taken positions by descending-position swap-remove — the
+	// exact removal the pre-fusion selector used, so the surviving array
+	// (and therefore every follow-on takeRandom draw) is unchanged. O(n),
+	// independent of pool size.
+	for i := n - 1; i >= 0; i-- {
+		last := len(t.remaining) - 1
+		t.remaining[kill[i]] = t.remaining[last]
+		t.remaining = t.remaining[:last]
 	}
 	return out
 }

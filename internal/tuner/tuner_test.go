@@ -238,7 +238,7 @@ func TestLowFidelityScoresRankWell(t *testing.T) {
 
 func TestPoolTrackerTakeTop(t *testing.T) {
 	p := synthProblem(13, 50)
-	tr := newPoolTracker(p)
+	tr := newPoolTracker(p, newRunArena())
 	truth := trueValues(p)
 	score := p.scoreByConfig(func(cfg cfgspace.Config) float64 {
 		v, _ := p.Eval.MeasureWorkflow(cfg)
@@ -267,7 +267,7 @@ func TestPoolTrackerTakeTop(t *testing.T) {
 
 func TestPoolTrackerTakeRandomExhausts(t *testing.T) {
 	p := synthProblem(15, 10)
-	tr := newPoolTracker(p)
+	tr := newPoolTracker(p, newRunArena())
 	rng := rand.New(rand.NewPCG(1, 1))
 	got := tr.takeRandom(25, rng)
 	if len(got) != 10 || tr.left() != 0 {
